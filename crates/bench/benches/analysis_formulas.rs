@@ -1,0 +1,45 @@
+//! Analysis bench: prints the Section 5 worked-example tables (storage cost,
+//! contention, warm-up bound, vprfh) and micro-benchmarks the closed forms —
+//! they sit on the hot path of the experiment harness and of adaptive
+//! schedulers built on top of the library.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mobiquery::analysis::{
+    interference_length_greedy, interference_length_jit, prefetch_length_greedy,
+    prefetch_length_jit, warmup_interval_s, AnalysisParams,
+};
+use mobiquery_experiments::analysis_tables;
+use std::hint::black_box;
+
+fn bench_analysis(c: &mut Criterion) {
+    for table in analysis_tables::run() {
+        println!("\n{table}");
+    }
+
+    let storage = AnalysisParams::storage_example();
+    let contention = AnalysisParams::contention_example();
+    let mut group = c.benchmark_group("analysis_formulas");
+    group.bench_function("prefetch_lengths", |b| {
+        b.iter(|| {
+            (
+                black_box(prefetch_length_jit(black_box(&storage))),
+                black_box(prefetch_length_greedy(black_box(&storage))),
+            )
+        })
+    });
+    group.bench_function("interference_lengths", |b| {
+        b.iter(|| {
+            (
+                black_box(interference_length_jit(black_box(&contention))),
+                black_box(interference_length_greedy(black_box(&contention))),
+            )
+        })
+    });
+    group.bench_function("warmup_interval", |b| {
+        b.iter(|| black_box(warmup_interval_s(black_box(&contention), black_box(-8.0))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Figure 4 bench: regenerates the success-ratio comparison (MQ-JIT vs MQ-GP
+//! vs NP across sleep periods) and times a single simulation run per scheme.
+//!
+//! The full paper-scale table is printed once at start-up; the timed portion
+//! uses the quick scenario so `cargo bench` stays fast.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mobiquery::config::Scheme;
+use mobiquery_experiments::{fig4, run_scenario, ExperimentConfig};
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    // Regenerate the figure itself (quick mode keeps bench start-up sane;
+    // run `repro fig4` for the paper-scale sweep).
+    let table = fig4::run(&ExperimentConfig::quick());
+    println!("\n{table}");
+
+    let mut group = c.benchmark_group("fig4_success_ratio");
+    group.sample_size(10);
+    for scheme in [Scheme::JustInTime, Scheme::Greedy, Scheme::None] {
+        let scenario = ExperimentConfig::quick()
+            .base_scenario()
+            .with_sleep_period_secs(9.0)
+            .with_scheme(scheme);
+        group.bench_function(format!("single_run_{}", scheme.label()), |b| {
+            b.iter(|| black_box(run_scenario(black_box(scenario.clone()))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

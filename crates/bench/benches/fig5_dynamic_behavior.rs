@@ -1,0 +1,36 @@
+//! Figure 5 bench: regenerates the per-period fidelity time series of MQ-JIT
+//! and MQ-GP (dynamic behaviour at a 15 s sleep period) and times the
+//! long-sleep-period simulation that produces it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mobiquery::config::Scheme;
+use mobiquery_experiments::{fig5, run_scenario, ExperimentConfig};
+use std::hint::black_box;
+
+fn bench_fig5(c: &mut Criterion) {
+    let config = ExperimentConfig::quick();
+    let out = fig5::run(&config);
+    println!(
+        "\nFigure 5 (quick): steady-state fidelity MQ-JIT {:.3}, MQ-GP {:.3} ({} periods)",
+        out.jit_steady_state_mean(10),
+        out.greedy_steady_state_mean(10),
+        out.jit.len()
+    );
+
+    let mut group = c.benchmark_group("fig5_dynamic_behavior");
+    group.sample_size(10);
+    for scheme in [Scheme::JustInTime, Scheme::Greedy] {
+        let scenario = config
+            .base_scenario()
+            .with_sleep_period_secs(15.0)
+            .with_speed_range(3.0, 5.0)
+            .with_scheme(scheme);
+        group.bench_function(format!("sleep15_{}", scheme.label()), |b| {
+            b.iter(|| black_box(run_scenario(black_box(scenario.clone()))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

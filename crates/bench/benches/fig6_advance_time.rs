@@ -1,0 +1,30 @@
+//! Figure 6 bench: regenerates the success-ratio-vs-advance-time table and
+//! times runs with early and late motion profiles.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mobiquery::config::Scheme;
+use mobiquery_experiments::{fig6, run_scenario, ExperimentConfig};
+use std::hint::black_box;
+
+fn bench_fig6(c: &mut Criterion) {
+    let config = ExperimentConfig::quick();
+    println!("\n{}", fig6::run(&config));
+
+    let mut group = c.benchmark_group("fig6_advance_time");
+    group.sample_size(10);
+    for advance in [-6.0, 18.0] {
+        let scenario = config
+            .base_scenario()
+            .with_sleep_period_secs(9.0)
+            .with_motion_change_interval(70.0)
+            .with_planner_advance(advance)
+            .with_scheme(Scheme::JustInTime);
+        group.bench_function(format!("advance_{advance}s"), |b| {
+            b.iter(|| black_box(run_scenario(black_box(scenario.clone()))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Figure 7 bench: regenerates the success-ratio-vs-motion-change-interval
+//! table (planner vs noisy GPS predictor) and times the predictor-driven run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mobiquery::config::Scheme;
+use mobiquery_experiments::{fig7, run_scenario, ExperimentConfig};
+use std::hint::black_box;
+
+fn bench_fig7(c: &mut Criterion) {
+    let config = ExperimentConfig::quick();
+    println!("\n{}", fig7::run(&config));
+
+    let mut group = c.benchmark_group("fig7_motion_changes");
+    group.sample_size(10);
+    for (label, gps_error) in [("gps_err_0m", 0.0), ("gps_err_10m", 10.0)] {
+        let scenario = config
+            .base_scenario()
+            .with_sleep_period_secs(9.0)
+            .with_motion_change_interval(70.0)
+            .with_predictor(8.0, gps_error)
+            .with_scheme(Scheme::JustInTime);
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(run_scenario(black_box(scenario.clone()))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

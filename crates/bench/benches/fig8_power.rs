@@ -1,0 +1,31 @@
+//! Figure 8 bench: regenerates the power-per-sleeping-node table (CCP vs
+//! MQ-JIT with early/late profiles) and times runs at the extreme sleep
+//! periods.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mobiquery::config::Scheme;
+use mobiquery_experiments::{fig8, run_scenario, ExperimentConfig};
+use std::hint::black_box;
+
+fn bench_fig8(c: &mut Criterion) {
+    let config = ExperimentConfig::quick();
+    println!("\n{}", fig8::run(&config));
+
+    let mut group = c.benchmark_group("fig8_power");
+    group.sample_size(10);
+    for sleep in [3.0, 15.0] {
+        let scenario = config
+            .base_scenario()
+            .with_sleep_period_secs(sleep)
+            .with_motion_change_interval(70.0)
+            .with_planner_advance(-3.0)
+            .with_scheme(Scheme::JustInTime);
+        group.bench_function(format!("sleep_{sleep}s"), |b| {
+            b.iter(|| black_box(run_scenario(black_box(scenario.clone()))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Micro-benchmarks for the substrates the protocol simulation is built on:
+//! the discrete-event queue, CCP backbone election, neighbour-table
+//! construction, geographic routing, flood-tree construction and the
+//! duty-cycle wake-time math.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wsn_geom::{Point, Rect};
+use wsn_net::{FloodTree, NeighborTable, NodeId, SleepSchedule};
+use wsn_net::routing::route_greedy;
+use wsn_power::ccp::{elect_backbone, CcpConfig};
+use wsn_sim::{Duration, EventQueue, SimRng, SimTime};
+
+fn deployment(n: usize, side: f64, seed: u64) -> Vec<Point> {
+    let mut rng = SimRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Point::new(rng.gen_range_f64(0.0, side), rng.gen_range_f64(0.0, side)))
+        .collect()
+}
+
+fn bench_substrates(c: &mut Criterion) {
+    let region = Rect::square(450.0);
+    let positions = deployment(200, 450.0, 1);
+    let neighbors = NeighborTable::build(&positions, region, 105.0);
+
+    c.bench_function("event_queue_10k_schedule_pop", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u32> = EventQueue::new();
+            for i in 0..10_000u32 {
+                q.schedule_at(SimTime::from_micros((i as u64 * 7919) % 1_000_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some(e) = q.pop() {
+                sum += e.event as u64;
+            }
+            black_box(sum)
+        })
+    });
+
+    c.bench_function("ccp_backbone_election_200_nodes", |b| {
+        b.iter(|| {
+            let mut rng = SimRng::seed_from_u64(2);
+            black_box(elect_backbone(
+                black_box(&positions),
+                region,
+                &CcpConfig::paper_default(),
+                &mut rng,
+            ))
+        })
+    });
+
+    c.bench_function("neighbor_table_200_nodes", |b| {
+        b.iter(|| black_box(NeighborTable::build(black_box(&positions), region, 105.0)))
+    });
+
+    c.bench_function("greedy_route_across_field", |b| {
+        b.iter(|| {
+            black_box(route_greedy(
+                NodeId(0),
+                Point::new(440.0, 440.0),
+                50.0,
+                &positions,
+                &neighbors,
+                |_| true,
+            ))
+        })
+    });
+
+    c.bench_function("flood_tree_query_area", |b| {
+        let pickup = Point::new(225.0, 225.0);
+        b.iter(|| {
+            black_box(FloodTree::build(NodeId(0), &neighbors, |n| {
+                positions[n.index()].distance_to(pickup) <= 255.0
+            }))
+        })
+    });
+
+    c.bench_function("sleep_schedule_next_wake", |b| {
+        let schedule = SleepSchedule::new(Duration::from_secs(15), Duration::from_millis(100));
+        b.iter(|| {
+            let mut acc = 0u64;
+            for s in 0..1_000u64 {
+                acc += schedule.next_wake(SimTime::from_millis(s * 37)).as_micros();
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench_substrates);
+criterion_main!(benches);

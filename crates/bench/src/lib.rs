@@ -1,0 +1,3 @@
+//! Benchmark-only crate: see the `benches/` directory. Each bench regenerates
+//! one of the MobiQuery paper's figures (quick mode) and times the
+//! simulations behind it; `substrate_micro` covers the substrate crates.

@@ -1,0 +1,50 @@
+//! Error types for the MobiQuery crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// An invalid configuration was supplied to the simulation or analysis API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl ConfigError {
+    /// Creates an error with the given explanation.
+    pub fn new(message: impl Into<String>) -> Self {
+        ConfigError {
+            message: message.into(),
+        }
+    }
+
+    /// The explanation of what was invalid.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid configuration: {}", self.message)
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_message() {
+        let e = ConfigError::new("query period must be positive");
+        assert!(format!("{e}").contains("query period"));
+        assert_eq!(e.message(), "query period must be positive");
+    }
+
+    #[test]
+    fn is_a_std_error() {
+        fn takes_error<E: Error>(_: E) {}
+        takes_error(ConfigError::new("x"));
+    }
+}

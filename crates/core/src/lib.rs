@@ -1,0 +1,72 @@
+//! # mobiquery
+//!
+//! A from-scratch Rust reproduction of **MobiQuery**, the spatiotemporal query
+//! service for mobile users in wireless sensor networks (Lu, Xing, Chipara,
+//! Fok, Bhattacharya — Washington University in St. Louis, WUCSE-2004-27 /
+//! ICDCS 2005).
+//!
+//! A *spatiotemporal query* lets a mobile user (a firefighter, a search-and-
+//! rescue robot) periodically gather data from all sensors within a radius
+//! `Rq` of their **current** position, with hard temporal constraints: the
+//! k-th result is due at `k·Tperiod` and may only aggregate readings at most
+//! `Tfresh` seconds old. The hard part is that sensor nodes sleep almost all
+//! of the time (duty cycles below 1 %), so naively disseminating the query at
+//! the start of each period reaches only the few nodes that happen to be
+//! awake.
+//!
+//! MobiQuery solves this with **prefetching**: the user's proxy attaches a
+//! *motion profile* (predicted future path) to the query, and the network
+//! forwards a prefetch message from pickup point to pickup point ahead of the
+//! user, waking the right nodes at the right time. The paper's core
+//! contribution is **just-in-time (JIT) prefetching**, which delays each
+//! forwarding step as long as the temporal constraints allow (Equation 10),
+//! and thereby bounds storage cost (Eq. 12), network contention (Section 5.4)
+//! and the warm-up interval after an unexpected motion change (Eq. 16).
+//!
+//! ## Crate layout
+//!
+//! * [`query`] — the query specification `(α, F, A(Pu(t)), Tperiod, Tfresh, Td)`.
+//! * [`config`] — simulation / protocol configuration mirroring Section 6.1.
+//! * [`prefetch`] — the prefetching schemes (JIT, greedy, none) and the
+//!   forwarding-time bound.
+//! * [`collection`] — the sub-deadline heuristic of Equation 1.
+//! * [`analysis`] — every closed form of Section 5 (prefetch forwarding time,
+//!   storage cost, warm-up interval, network contention, `v*`, `vprfh`).
+//! * [`sim`] — the discrete-event protocol simulation tying the substrate
+//!   crates together; this is what regenerates the paper's figures.
+//! * [`error`] — configuration validation errors.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use mobiquery::config::{Scenario, Scheme};
+//! use mobiquery::sim::Simulation;
+//!
+//! // A small scenario so the doctest stays fast.
+//! let scenario = Scenario::paper_default()
+//!     .with_node_count(60)
+//!     .with_region_side(250.0)
+//!     .with_duration_secs(40.0)
+//!     .with_sleep_period_secs(6.0)
+//!     .with_scheme(Scheme::JustInTime)
+//!     .with_seed(7);
+//! let output = Simulation::new(scenario)?.run();
+//! assert!(output.query_log.len() > 0);
+//! # Ok::<(), mobiquery::error::ConfigError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod collection;
+pub mod config;
+pub mod error;
+pub mod prefetch;
+pub mod query;
+pub mod sim;
+
+pub use config::{Scenario, Scheme};
+pub use error::ConfigError;
+pub use query::{AggregateKind, QuerySpec};
+pub use sim::{Simulation, SimulationOutput};

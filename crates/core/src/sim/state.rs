@@ -1,0 +1,136 @@
+//! Per-query protocol state.
+
+use std::collections::{HashMap, HashSet};
+use wsn_geom::Point;
+use wsn_net::{FloodTree, NodeId};
+use wsn_sim::SimTime;
+
+/// Everything the network remembers about one outstanding query (one pickup
+/// point): the collector, the query tree, setup progress and the partial
+/// aggregates flowing towards the collector.
+///
+/// This is exactly the state whose footprint the paper's storage-cost
+/// analysis (Section 5.2) bounds: just-in-time prefetching keeps only a
+/// handful of these alive at any instant, greedy prefetching keeps one per
+/// remaining query period.
+#[derive(Debug, Clone)]
+pub struct QueryState {
+    /// The query sequence number.
+    pub k: u64,
+    /// The prefetch-chain generation that installed this state.
+    pub generation: u64,
+    /// The pickup point predicted from the motion profile in force when the
+    /// prefetch message was forwarded.
+    pub predicted_pickup: Point,
+    /// The collector node (root of the query tree).
+    pub collector: NodeId,
+    /// When the collector received the prefetch message (or, for the
+    /// No-Prefetching baseline, when the user broadcast the query).
+    pub prefetch_received_at: SimTime,
+    /// The query tree over backbone nodes in the (predicted) query area.
+    pub tree: FloodTree,
+    /// When each backbone tree node received the setup message.
+    pub setup_arrival: HashMap<NodeId, SimTime>,
+    /// The backbone parent assigned to each duty-cycled node in the area.
+    pub sleeping_parent: HashMap<NodeId, NodeId>,
+    /// When each duty-cycled node actually received the buffered setup.
+    pub sleeping_ready: HashMap<NodeId, SimTime>,
+    /// Partial aggregates accumulated at each tree node (contributing node ids).
+    pub received: HashMap<NodeId, HashSet<NodeId>>,
+    /// Tree nodes that have already forwarded their aggregate upward.
+    pub sent: HashSet<NodeId>,
+    /// Contributions that have reached the collector so far.
+    pub collector_received: HashSet<NodeId>,
+    /// Whether the setup flood for this query has started.
+    pub setup_started: bool,
+}
+
+impl QueryState {
+    /// Creates the state installed when a collector accepts the prefetch
+    /// message (or the NP broadcast) for query `k`.
+    pub fn new(
+        k: u64,
+        generation: u64,
+        predicted_pickup: Point,
+        collector: NodeId,
+        prefetch_received_at: SimTime,
+        tree: FloodTree,
+    ) -> Self {
+        QueryState {
+            k,
+            generation,
+            predicted_pickup,
+            collector,
+            prefetch_received_at,
+            tree,
+            setup_arrival: HashMap::new(),
+            sleeping_parent: HashMap::new(),
+            sleeping_ready: HashMap::new(),
+            received: HashMap::new(),
+            sent: HashSet::new(),
+            collector_received: HashSet::new(),
+            setup_started: false,
+        }
+    }
+
+    /// Returns `true` when `node` (a backbone tree member) already has the
+    /// setup message.
+    pub fn has_setup(&self, node: NodeId) -> bool {
+        self.setup_arrival.contains_key(&node)
+    }
+
+    /// Records a partial aggregate arriving at `node`.
+    pub fn accumulate(&mut self, node: NodeId, contributions: impl IntoIterator<Item = NodeId>) {
+        self.received.entry(node).or_default().extend(contributions);
+    }
+
+    /// Takes the set a node forwards upward: its own accumulated
+    /// contributions (the caller adds the node's own reading separately).
+    pub fn take_accumulated(&mut self, node: NodeId) -> HashSet<NodeId> {
+        self.received.remove(&node).unwrap_or_default()
+    }
+
+    /// Number of nodes (backbone + duty-cycled) that are set up to
+    /// participate in this query.
+    pub fn participants(&self) -> usize {
+        self.setup_arrival.len() + self.sleeping_ready.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_geom::Rect;
+    use wsn_net::NeighborTable;
+
+    fn tiny_state() -> QueryState {
+        let positions = vec![
+            Point::new(0.0, 0.0),
+            Point::new(50.0, 0.0),
+            Point::new(100.0, 0.0),
+        ];
+        let table = NeighborTable::build(&positions, Rect::square(200.0), 105.0);
+        let tree = FloodTree::build(NodeId(0), &table, |_| true);
+        QueryState::new(3, 1, Point::new(10.0, 0.0), NodeId(0), SimTime::ZERO, tree)
+    }
+
+    #[test]
+    fn accumulate_and_take() {
+        let mut s = tiny_state();
+        s.accumulate(NodeId(1), [NodeId(2), NodeId(1)]);
+        s.accumulate(NodeId(1), [NodeId(2)]);
+        let set = s.take_accumulated(NodeId(1));
+        assert_eq!(set.len(), 2);
+        assert!(s.take_accumulated(NodeId(1)).is_empty());
+    }
+
+    #[test]
+    fn setup_tracking() {
+        let mut s = tiny_state();
+        assert!(!s.has_setup(NodeId(0)));
+        s.setup_arrival.insert(NodeId(0), SimTime::from_secs(1));
+        assert!(s.has_setup(NodeId(0)));
+        s.sleeping_ready.insert(NodeId(2), SimTime::from_secs(2));
+        assert_eq!(s.participants(), 2);
+    }
+}

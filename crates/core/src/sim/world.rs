@@ -1,0 +1,930 @@
+//! The protocol world: all MobiQuery logic reacting to simulation events.
+//!
+//! The world owns the deployment (node positions, CCP backbone, neighbour
+//! table), the shared wireless channel, the ground-truth user motion and the
+//! per-query protocol state, and implements the MobiQuery behaviour described
+//! in Section 4 of the paper:
+//!
+//! * the proxy / query gateway launching a prefetch chain whenever a motion
+//!   profile arrives,
+//! * area-anycast forwarding of the prefetch message between pickup points,
+//!   with the just-in-time forwarding bound (Eq. 10) or greedy forwarding,
+//! * query-tree setup by bounded flooding over the backbone, with buffered
+//!   delivery to duty-cycled nodes during their active windows,
+//! * data collection up the tree under the sub-deadline heuristic (Eq. 1),
+//! * the No-Prefetching baseline, and
+//! * scoring of every query (fidelity / deadline) against the user's *actual*
+//!   position, which is what makes imperfect motion prediction cost fidelity.
+
+use crate::collection::CollectionTiming;
+use crate::config::{Scenario, Scheme};
+use crate::prefetch::PrefetchTiming;
+use crate::sim::event::SimEvent;
+use crate::sim::state::QueryState;
+use std::collections::HashMap;
+use wsn_geom::{Circle, Point, SpatialGrid};
+use wsn_metrics::{QueryLog, QueryRecord};
+use wsn_mobility::{MotionProfile, UserMotion};
+use wsn_net::{Channel, FloodTree, NeighborTable, NodeId, SleepSchedule};
+use wsn_net::routing::{route_greedy, RouteError};
+use wsn_power::PowerPlan;
+use wsn_sim::{Duration, EventQueue, SimRng, SimTime, World};
+
+/// Per-node energy bookkeeping for duty-cycled nodes (seconds in each state
+/// beyond the baseline duty-cycle pattern).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct NodeActivity {
+    /// Extra awake time caused by query participation (re-scheduled wake-ups).
+    pub extra_awake_s: f64,
+    /// Time spent transmitting.
+    pub tx_s: f64,
+    /// Time spent receiving query traffic.
+    pub rx_s: f64,
+}
+
+/// The MobiQuery protocol world driven by the discrete-event engine.
+#[derive(Debug)]
+pub struct SimWorld {
+    pub(crate) scenario: Scenario,
+    pub(crate) positions: Vec<Point>,
+    pub(crate) neighbors: NeighborTable,
+    pub(crate) plan: PowerPlan,
+    pub(crate) all_nodes_grid: SpatialGrid,
+    pub(crate) channel: Channel,
+    pub(crate) rng: SimRng,
+    pub(crate) motion: UserMotion,
+    pub(crate) profiles: Vec<MotionProfile>,
+    pub(crate) active_profile: Option<usize>,
+    pub(crate) generation: u64,
+    pub(crate) queries: HashMap<u64, QueryState>,
+    pub(crate) timing: PrefetchTiming,
+    pub(crate) collection: CollectionTiming,
+    pub(crate) schedule: SleepSchedule,
+    pub(crate) max_k: u64,
+    pub(crate) log: QueryLog,
+    pub(crate) activity: Vec<NodeActivity>,
+    pub(crate) trees_built: u64,
+    pub(crate) prefetch_len_samples: Vec<usize>,
+    pub(crate) max_prefetch_len: usize,
+    /// Number of buffered-frame deliveries offered to each power-save active
+    /// window (keyed by window index). Used by the PSM window-capacity model.
+    pub(crate) window_offered: HashMap<u64, u32>,
+}
+
+impl SimWorld {
+    /// Small processing gap between consecutive broadcast retries.
+    const RETRY_GAP: Duration = Duration::from_millis(6);
+
+    pub(crate) fn new(
+        scenario: Scenario,
+        positions: Vec<Point>,
+        neighbors: NeighborTable,
+        plan: PowerPlan,
+        all_nodes_grid: SpatialGrid,
+        channel: Channel,
+        rng: SimRng,
+        motion: UserMotion,
+        profiles: Vec<MotionProfile>,
+    ) -> Self {
+        let timing = scenario.prefetch_timing();
+        let collection = CollectionTiming {
+            period: scenario.query.period,
+            freshness: scenario.query.freshness,
+            query_radius_m: scenario.query.radius_m,
+            pickup_radius_m: scenario.pickup_radius_m,
+        };
+        let schedule = scenario.sleep_schedule();
+        let max_k = scenario.query.result_count();
+        let node_count = positions.len();
+        SimWorld {
+            scenario,
+            positions,
+            neighbors,
+            plan,
+            all_nodes_grid,
+            channel,
+            rng,
+            motion,
+            profiles,
+            active_profile: None,
+            generation: 0,
+            queries: HashMap::new(),
+            timing,
+            collection,
+            schedule,
+            max_k,
+            log: QueryLog::new(),
+            activity: vec![NodeActivity::default(); node_count],
+            trees_built: 0,
+            prefetch_len_samples: Vec::new(),
+            max_prefetch_len: 0,
+            window_offered: HashMap::new(),
+        }
+    }
+
+    /// Index of the power-save active window containing (or starting at) `t`.
+    fn window_index(&self, t: SimTime) -> u64 {
+        t.as_micros() / self.schedule.period().as_micros().max(1)
+    }
+
+    /// Registers one buffered-frame delivery attempt offered to the window
+    /// containing `t` and returns the resulting offered count.
+    fn offer_to_window(&mut self, t: SimTime) -> u32 {
+        let idx = self.window_index(t);
+        let entry = self.window_offered.entry(idx).or_insert(0);
+        *entry += 1;
+        *entry
+    }
+
+    /// The probability that a buffered-frame delivery fails purely because its
+    /// active window is oversubscribed (the 802.11 PSM bottleneck): zero while
+    /// the offered load fits the window capacity, approaching one as the
+    /// backlog grows far beyond it.
+    fn window_overload_loss(&self, now: SimTime) -> f64 {
+        let offered = self
+            .window_offered
+            .get(&self.window_index(now))
+            .copied()
+            .unwrap_or(0);
+        let capacity = self.scenario.psm_window_capacity.max(1);
+        if offered <= capacity {
+            0.0
+        } else {
+            1.0 - capacity as f64 / offered as f64
+        }
+    }
+
+    fn position(&self, node: NodeId) -> Point {
+        self.positions[node.index()]
+    }
+
+    /// The backbone node closest to `p`, if any backbone exists.
+    fn nearest_backbone(&self, p: Point) -> Option<NodeId> {
+        self.plan
+            .backbone_nodes()
+            .min_by(|&a, &b| {
+                self.position(a)
+                    .distance_sq_to(p)
+                    .partial_cmp(&self.position(b).distance_sq_to(p))
+                    .expect("distances are finite")
+            })
+    }
+
+    /// The pickup point for query `k` as predicted by the motion profiles
+    /// delivered so far.
+    ///
+    /// Among the delivered profiles, the one whose effective time is the
+    /// latest not exceeding the query deadline is used; a profile delivered
+    /// early (positive advance time) therefore does not override the profile
+    /// describing the *current* leg until it actually takes effect.
+    fn predicted_pickup(&self, k: u64) -> Point {
+        let deadline = self.collection.deadline(k);
+        let latest = self.active_profile.map(|last| {
+            self.profiles[..=last]
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.effective_from <= deadline)
+                .max_by_key(|(_, p)| p.effective_from)
+                .map(|(idx, _)| idx)
+                .unwrap_or(last)
+        });
+        match latest {
+            Some(idx) => self.profiles[idx].predicted_position(deadline),
+            None => self.motion.position_at(deadline),
+        }
+    }
+
+    fn deadline(&self, k: u64) -> SimTime {
+        self.collection.deadline(k)
+    }
+
+    fn earliest_reading(&self, k: u64) -> SimTime {
+        self.collection.leaf_reading_time(k)
+    }
+
+    /// Charges radio activity to a duty-cycled node (backbone nodes are
+    /// always on and their power is not part of the Figure 8 metric).
+    fn charge(&mut self, node: NodeId, extra_awake_s: f64, tx_s: f64, rx_s: f64) {
+        if !self.plan.is_backbone(node) {
+            let a = &mut self.activity[node.index()];
+            a.extra_awake_s += extra_awake_s;
+            a.tx_s += tx_s;
+            a.rx_s += rx_s;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Profile handling and prefetch chain
+    // ------------------------------------------------------------------
+
+    fn handle_profile_delivered(
+        &mut self,
+        now: SimTime,
+        index: usize,
+        queue: &mut EventQueue<SimEvent>,
+    ) {
+        if self.scenario.scheme == Scheme::None {
+            return; // the NP baseline ignores motion profiles entirely
+        }
+        self.active_profile = Some(index);
+        self.generation += 1;
+        let generation = self.generation;
+
+        // The proxy attaches to the nearest backbone node and injects the
+        // prefetch message for the next pending query.
+        let user_pos = self.motion.position_at(now);
+        let Some(attach) = self.nearest_backbone(user_pos) else {
+            return;
+        };
+        let period = self.timing.period.as_secs_f64();
+        let k_start = ((now.as_secs_f64() / period).floor() as u64 + 1).min(self.max_k);
+        if self.deadline(k_start) < now {
+            return;
+        }
+        let send_at = self.timing.send_time(self.scenario.scheme, k_start, now);
+        queue.schedule_at(
+            send_at,
+            SimEvent::PrefetchForward {
+                generation,
+                k: k_start,
+                from: attach,
+            },
+        );
+    }
+
+    fn handle_prefetch_forward(
+        &mut self,
+        now: SimTime,
+        generation: u64,
+        k: u64,
+        from: NodeId,
+        queue: &mut EventQueue<SimEvent>,
+    ) {
+        if generation != self.generation || k > self.max_k {
+            return; // cancelled by a newer motion profile
+        }
+        if now >= self.deadline(k) {
+            // Too late for this pickup point; keep the chain alive.
+            self.schedule_next_forward(now, generation, k, from, queue);
+            return;
+        }
+        let target = self.predicted_pickup(k);
+        let route = match route_greedy(
+            from,
+            target,
+            self.scenario.pickup_radius_m,
+            &self.positions,
+            &self.neighbors,
+            |n| self.plan.is_backbone(n),
+        ) {
+            Ok(path) => path.hops,
+            Err(RouteError::Void { stuck_at, .. }) => {
+                // Greedy forwarding got stuck (a routing void): the closest
+                // reachable backbone node acts as the collector.
+                let mut hops = vec![from];
+                if stuck_at != from {
+                    hops.push(stuck_at);
+                }
+                hops
+            }
+            Err(RouteError::UnknownSource(_)) => return,
+        };
+        queue.schedule_at(
+            now,
+            SimEvent::PrefetchHop {
+                generation,
+                k,
+                route,
+                index: 0,
+                attempt: 0,
+            },
+        );
+    }
+
+    fn handle_prefetch_hop(
+        &mut self,
+        now: SimTime,
+        generation: u64,
+        k: u64,
+        route: Vec<NodeId>,
+        index: usize,
+        attempt: u32,
+        queue: &mut EventQueue<SimEvent>,
+    ) {
+        if generation != self.generation {
+            return; // cancel message: stop relaying along the abandoned path
+        }
+        if index + 1 >= route.len() {
+            self.prefetch_arrived(now, generation, k, route[index], queue);
+            return;
+        }
+        let sender = route[index];
+        let outcome = self.channel.transmit(
+            sender,
+            self.position(sender),
+            self.scenario.messages.prefetch_bytes,
+            now,
+            &mut self.rng,
+        );
+        if outcome.delivered || attempt >= self.scenario.max_retries {
+            // After exhausting retries the hop is forced through: the prefetch
+            // message is small, and a real deployment would keep retrying; the
+            // contention cost of every attempt has already been charged.
+            queue.schedule_at(
+                now + outcome.delay,
+                SimEvent::PrefetchHop {
+                    generation,
+                    k,
+                    route,
+                    index: index + 1,
+                    attempt: 0,
+                },
+            );
+        } else {
+            queue.schedule_at(
+                now + outcome.delay + Self::RETRY_GAP,
+                SimEvent::PrefetchHop {
+                    generation,
+                    k,
+                    route,
+                    index,
+                    attempt: attempt + 1,
+                },
+            );
+        }
+    }
+
+    fn schedule_next_forward(
+        &mut self,
+        now: SimTime,
+        generation: u64,
+        k: u64,
+        from: NodeId,
+        queue: &mut EventQueue<SimEvent>,
+    ) {
+        let next_k = k + 1;
+        if next_k > self.max_k {
+            return;
+        }
+        let send_at = self.timing.send_time(self.scenario.scheme, next_k, now);
+        queue.schedule_at(
+            send_at,
+            SimEvent::PrefetchForward {
+                generation,
+                k: next_k,
+                from,
+            },
+        );
+    }
+
+    fn prefetch_arrived(
+        &mut self,
+        now: SimTime,
+        generation: u64,
+        k: u64,
+        collector: NodeId,
+        queue: &mut EventQueue<SimEvent>,
+    ) {
+        // The collector relays the prefetch message onward regardless of
+        // whether this particular query area still needs to be (re)built.
+        self.schedule_next_forward(now, generation, k, collector, queue);
+
+        if let Some(existing) = self.queries.get(&k) {
+            if existing.generation >= generation {
+                return;
+            }
+        }
+        self.install_query(now, generation, k, collector, self.predicted_pickup(k), queue);
+    }
+
+    /// Installs the query state for query `k` rooted at `collector` and starts
+    /// query dissemination. Shared by the prefetching schemes and the NP
+    /// baseline.
+    fn install_query(
+        &mut self,
+        now: SimTime,
+        generation: u64,
+        k: u64,
+        collector: NodeId,
+        pickup: Point,
+        queue: &mut EventQueue<SimEvent>,
+    ) {
+        if now >= self.deadline(k) {
+            return;
+        }
+        let area = Circle::new(pickup, self.scenario.query.radius_m);
+        // The tree spans backbone nodes within one communication range beyond
+        // the query area so that duty-cycled nodes at the area's edge still
+        // find an in-tree relay.
+        let relay_radius = self.scenario.query.radius_m + self.scenario.radio.comm_range_m;
+        let positions = &self.positions;
+        let plan = &self.plan;
+        let tree = FloodTree::build(collector, &self.neighbors, |n| {
+            plan.is_backbone(n) && positions[n.index()].distance_to(pickup) <= relay_radius
+        });
+
+        let mut state = QueryState::new(k, generation, pickup, collector, now, tree);
+        state.setup_arrival.insert(collector, now);
+        state.setup_started = true;
+
+        // Assign every duty-cycled node in the (predicted) area a parent from
+        // the tree, if one is within communication range.
+        let comm_range = self.scenario.radio.comm_range_m;
+        let sleeping_in_area: Vec<NodeId> = self
+            .all_nodes_grid
+            .query_circle(area)
+            .map(NodeId)
+            .filter(|&n| !self.plan.is_backbone(n))
+            .collect();
+        for node in sleeping_in_area {
+            let pos = self.position(node);
+            let parent = state
+                .tree
+                .order
+                .iter()
+                .copied()
+                .filter(|&b| self.position(b).distance_to(pos) <= comm_range)
+                .min_by(|&a, &b| {
+                    self.position(a)
+                        .distance_sq_to(pos)
+                        .partial_cmp(&self.position(b).distance_sq_to(pos))
+                        .expect("finite distances")
+                });
+            if let Some(parent) = parent {
+                state.sleeping_parent.insert(node, parent);
+            }
+        }
+
+        self.trees_built += 1;
+        self.queries.insert(k, state);
+
+        // The collector starts flooding the setup message immediately, and its
+        // duty-cycled neighbours can be served from its own buffered copy.
+        queue.schedule_at(
+            now,
+            SimEvent::SetupBroadcast {
+                k,
+                node: collector,
+                attempt: 0,
+            },
+        );
+        self.schedule_sleeping_deliveries(now, k, collector, queue);
+    }
+
+    // ------------------------------------------------------------------
+    // Query dissemination
+    // ------------------------------------------------------------------
+
+    fn handle_setup_broadcast(
+        &mut self,
+        now: SimTime,
+        k: u64,
+        node: NodeId,
+        attempt: u32,
+        queue: &mut EventQueue<SimEvent>,
+    ) {
+        let Some(state) = self.queries.get(&k) else {
+            return;
+        };
+        if now >= self.deadline(k) {
+            return;
+        }
+        let pending: Vec<NodeId> = state
+            .tree
+            .children_of(node)
+            .into_iter()
+            .filter(|child| !state.has_setup(*child))
+            .collect();
+        if pending.is_empty() {
+            return;
+        }
+        let outcome = self.channel.transmit(
+            node,
+            self.position(node),
+            self.scenario.messages.setup_bytes,
+            now,
+            &mut self.rng,
+        );
+        let loss_p = self.scenario.mac.loss_probability(outcome.contenders);
+        let mut any_missed = false;
+        for child in pending {
+            if self.rng.gen_bool(loss_p) {
+                any_missed = true;
+            } else {
+                queue.schedule_at(now + outcome.delay, SimEvent::SetupArrive { k, node: child });
+            }
+        }
+        if any_missed && attempt < self.scenario.max_retries {
+            queue.schedule_at(
+                now + outcome.delay + Self::RETRY_GAP,
+                SimEvent::SetupBroadcast {
+                    k,
+                    node,
+                    attempt: attempt + 1,
+                },
+            );
+        }
+    }
+
+    fn handle_setup_arrive(
+        &mut self,
+        now: SimTime,
+        k: u64,
+        node: NodeId,
+        queue: &mut EventQueue<SimEvent>,
+    ) {
+        let deadline = self.deadline(k);
+        let Some(state) = self.queries.get_mut(&k) else {
+            return;
+        };
+        if state.has_setup(node) || now >= deadline {
+            return;
+        }
+        state.setup_arrival.insert(node, now);
+        let collector_pos = self.positions[state.collector.index()];
+        let du = self
+            .collection
+            .sub_deadline(k, self.positions[node.index()].distance_to(collector_pos));
+        let is_collector = node == state.collector;
+        // Relay the flood onward and arm this node's aggregation timeout.
+        queue.schedule_at(
+            now + Duration::from_millis(1),
+            SimEvent::SetupBroadcast {
+                k,
+                node,
+                attempt: 0,
+            },
+        );
+        if !is_collector {
+            queue.schedule_at(du.max(now), SimEvent::AggregateSend { k, node });
+        }
+        self.schedule_sleeping_deliveries(now, k, node, queue);
+    }
+
+    /// Schedules buffered-setup delivery attempts for every duty-cycled node
+    /// whose assigned parent is `parent` and which is not yet set up.
+    fn schedule_sleeping_deliveries(
+        &mut self,
+        now: SimTime,
+        k: u64,
+        parent: NodeId,
+        queue: &mut EventQueue<SimEvent>,
+    ) {
+        let Some(state) = self.queries.get(&k) else {
+            return;
+        };
+        let mut targets: Vec<NodeId> = state
+            .sleeping_parent
+            .iter()
+            .filter(|(node, p)| **p == parent && !state.sleeping_ready.contains_key(node))
+            .map(|(node, _)| *node)
+            .collect();
+        if targets.is_empty() {
+            return;
+        }
+        // Hash-map iteration order is unspecified; sort so that the RNG draws
+        // below happen in a deterministic order and runs are reproducible.
+        targets.sort_unstable();
+        let window = self.schedule.active_window().as_secs_f64();
+        for node in targets {
+            // PSM buffering: the frame can only be handed over while the
+            // duty-cycled node is awake, i.e. during an active window. The
+            // attempt is jittered inside the window so that concurrent
+            // deliveries (the contention greedy prefetching suffers from)
+            // spread over the window rather than colliding at its first slot.
+            let window_start = self.schedule.next_awake_instant(now);
+            let jitter = Duration::from_secs_f64(self.rng.gen_range_f64(0.0, window * 0.5));
+            let at = window_start + jitter;
+            self.offer_to_window(at);
+            queue.schedule_at(at, SimEvent::SleepingDeliver { k, node, attempt: 0 });
+        }
+    }
+
+    fn handle_sleeping_deliver(
+        &mut self,
+        now: SimTime,
+        k: u64,
+        node: NodeId,
+        attempt: u32,
+        queue: &mut EventQueue<SimEvent>,
+    ) {
+        let deadline = self.deadline(k);
+        let earliest_reading = self.earliest_reading(k);
+        let Some(state) = self.queries.get(&k) else {
+            return;
+        };
+        if state.sleeping_ready.contains_key(&node) || now >= deadline {
+            return;
+        }
+        let Some(&parent) = state.sleeping_parent.get(&node) else {
+            return;
+        };
+        let setup_bytes = self.scenario.messages.setup_bytes;
+        let outcome = self.channel.transmit(
+            parent,
+            self.position(parent),
+            setup_bytes,
+            now,
+            &mut self.rng,
+        );
+        // A buffered frame fails either through ordinary contention loss or
+        // because its active window is oversubscribed (the PSM bottleneck
+        // that greedy prefetching's concentrated setup runs into).
+        let contention_loss = self.scenario.mac.loss_probability(outcome.contenders);
+        let overload_loss = self.window_overload_loss(now);
+        let loss_p = 1.0 - (1.0 - contention_loss) * (1.0 - overload_loss);
+        let lost = self.rng.gen_bool(loss_p);
+        let arrival = now + outcome.delay;
+        if !lost {
+            let airtime = self.channel.tx_duration(setup_bytes).as_secs_f64();
+            self.charge(node, 0.0, 0.0, airtime);
+            // The node re-schedules its wake-up for the earliest instant a
+            // fresh reading can be taken (Section 4.3), or reads immediately
+            // if it is already past that instant. The actual channel access is
+            // staggered within the slack its parent's sub-deadline (Eq. 1)
+            // leaves, so the simultaneous wake-up of every leaf in the area
+            // does not collapse into a single collision burst.
+            let reading_time = earliest_reading.max(arrival);
+            let collector_pos = {
+                let state = self.queries.get(&k).expect("state present");
+                self.positions[state.collector.index()]
+            };
+            let parent_du = self
+                .collection
+                .sub_deadline(k, self.position(parent).distance_to(collector_pos));
+            let slack = parent_du
+                .saturating_since(reading_time)
+                .as_secs_f64()
+                .max(0.0);
+            let jitter =
+                Duration::from_secs_f64(self.rng.gen_range_f64(0.0, (slack * 0.5).min(0.25).max(1e-4)));
+            let state = self.queries.get_mut(&k).expect("state present");
+            state.sleeping_ready.insert(node, arrival);
+            let send_time = reading_time + jitter;
+            if send_time < deadline {
+                queue.schedule_at(send_time, SimEvent::LeafSend { k, node });
+            }
+            return;
+        }
+        // Retry while the node is still awake in this window, otherwise defer
+        // the buffered frame to the next active window. Give up once the
+        // reading deadline can no longer be met.
+        let retry_at = arrival + Self::RETRY_GAP;
+        let (next_attempt_at, new_window) = match self.schedule.active_window_end(now) {
+            Some(end) if retry_at < end => (retry_at, false),
+            _ => {
+                let next_window = self.schedule.next_wake(arrival);
+                let window = self.schedule.active_window().as_secs_f64();
+                let jitter = Duration::from_secs_f64(self.rng.gen_range_f64(0.0, window * 0.5));
+                (next_window + jitter, true)
+            }
+        };
+        if next_attempt_at < deadline {
+            if new_window {
+                self.offer_to_window(next_attempt_at);
+            }
+            queue.schedule_at(
+                next_attempt_at,
+                SimEvent::SleepingDeliver {
+                    k,
+                    node,
+                    attempt: attempt + 1,
+                },
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Data collection
+    // ------------------------------------------------------------------
+
+    fn handle_leaf_send(
+        &mut self,
+        now: SimTime,
+        k: u64,
+        node: NodeId,
+        queue: &mut EventQueue<SimEvent>,
+    ) {
+        let Some(state) = self.queries.get(&k) else {
+            return;
+        };
+        let Some(&parent) = state.sleeping_parent.get(&node) else {
+            return;
+        };
+        if now >= self.deadline(k) {
+            return;
+        }
+        // The leaf stays awake from its wake-up until the transmission ends,
+        // then goes straight back to sleep (it is deliberately a leaf so this
+        // is all the extra awake time it pays). A nominal 10 ms covers the
+        // sensor reading plus the expected channel-access time; the
+        // transmission itself is charged inside `send_data`.
+        self.charge(node, 0.010, 0.0, 0.0);
+        self.send_data(now, k, node, parent, vec![node], 0, queue);
+    }
+
+    /// Transmits a data frame from `from` to `to` with link-layer
+    /// retransmission (802.11-style unicast ARQ): on loss the frame is
+    /// retried after a short gap, up to the configured retry budget, as long
+    /// as the query deadline has not passed.
+    fn send_data(
+        &mut self,
+        now: SimTime,
+        k: u64,
+        from: NodeId,
+        to: NodeId,
+        contributions: Vec<NodeId>,
+        attempt: u32,
+        queue: &mut EventQueue<SimEvent>,
+    ) {
+        let deadline = self.deadline(k);
+        if now >= deadline || contributions.is_empty() {
+            return;
+        }
+        let data_bytes = self.scenario.messages.data_bytes;
+        let outcome =
+            self.channel
+                .transmit(from, self.position(from), data_bytes, now, &mut self.rng);
+        let airtime = self.channel.tx_duration(data_bytes).as_secs_f64();
+        self.charge(from, outcome.delay.as_secs_f64(), airtime, 0.0);
+        if outcome.delivered {
+            queue.schedule_at(
+                now + outcome.delay,
+                SimEvent::DataArrive {
+                    k,
+                    node: to,
+                    contributions,
+                },
+            );
+        } else if attempt < self.scenario.max_retries {
+            queue.schedule_at(
+                now + outcome.delay + Self::RETRY_GAP,
+                SimEvent::DataSend {
+                    k,
+                    from,
+                    to,
+                    contributions,
+                    attempt: attempt + 1,
+                },
+            );
+        }
+        // After the retry budget is exhausted the frame (and the whole
+        // subtree's contributions it carries) is lost — the congestion cost
+        // the paper attributes to greedy prefetching.
+    }
+
+    fn handle_data_arrive(&mut self, now: SimTime, k: u64, node: NodeId, contributions: Vec<NodeId>) {
+        let deadline = self.deadline(k);
+        let Some(state) = self.queries.get_mut(&k) else {
+            return;
+        };
+        if node == state.collector {
+            if now <= deadline {
+                state.collector_received.extend(contributions);
+            }
+        } else if !state.sent.contains(&node) {
+            state.accumulate(node, contributions);
+        }
+        // Contributions arriving at an interior node after it already
+        // forwarded its aggregate are lost — exactly the cost of the timeout
+        // scheme the paper describes.
+    }
+
+    fn handle_aggregate_send(
+        &mut self,
+        now: SimTime,
+        k: u64,
+        node: NodeId,
+        queue: &mut EventQueue<SimEvent>,
+    ) {
+        let deadline = self.deadline(k);
+        let earliest_reading = self.earliest_reading(k);
+        let Some(state) = self.queries.get_mut(&k) else {
+            return;
+        };
+        if state.sent.contains(&node) || now > deadline {
+            return;
+        }
+        state.sent.insert(node);
+        let mut set = state.take_accumulated(node);
+        // The node's own reading: available once both its setup arrived and
+        // the freshness window opened.
+        if let Some(&setup_at) = state.setup_arrival.get(&node) {
+            if earliest_reading.max(setup_at) <= now {
+                set.insert(node);
+            }
+        }
+        if set.is_empty() {
+            return;
+        }
+        let parent = state.tree.parent_of(node);
+        let collector = state.collector;
+        let mut contributions: Vec<NodeId> = set.into_iter().collect();
+        contributions.sort_unstable();
+        match parent {
+            None => {
+                // This is the collector (or an orphan): deliver locally.
+                if node == collector && now <= deadline {
+                    let state = self.queries.get_mut(&k).expect("state present");
+                    state.collector_received.extend(contributions);
+                }
+            }
+            Some(parent) => self.send_data(now, k, node, parent, contributions, 0, queue),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Scoring and the NP baseline
+    // ------------------------------------------------------------------
+
+    fn handle_query_deadline(&mut self, now: SimTime, k: u64) {
+        let deadline = self.deadline(k);
+        let actual_user = self.motion.position_at(deadline);
+        let area = Circle::new(actual_user, self.scenario.query.radius_m);
+        let nodes_in_area: Vec<NodeId> = self.all_nodes_grid.query_circle(area).map(NodeId).collect();
+
+        // Sample the prefetch length (trees standing for future queries).
+        let ahead = self.queries.keys().filter(|&&j| j > k).count();
+        self.prefetch_len_samples.push(ahead);
+        self.max_prefetch_len = self.max_prefetch_len.max(ahead);
+
+        let record = match self.queries.remove(&k) {
+            None => QueryRecord::missed(k, deadline, nodes_in_area.len()),
+            Some(mut state) => {
+                // The collector adds its own fresh reading as it hands the
+                // result to the user.
+                if let Some(&setup_at) = state.setup_arrival.get(&state.collector) {
+                    if self.earliest_reading(k).max(setup_at) <= now {
+                        state.collector_received.insert(state.collector);
+                    }
+                }
+                let contributing = nodes_in_area
+                    .iter()
+                    .filter(|n| state.collector_received.contains(n))
+                    .count();
+                QueryRecord {
+                    seq: k,
+                    deadline,
+                    delivered_at: Some(deadline),
+                    contributing_nodes: contributing,
+                    nodes_in_area: nodes_in_area.len(),
+                }
+            }
+        };
+        self.log.push(record);
+    }
+
+    fn handle_np_launch(&mut self, now: SimTime, k: u64, queue: &mut EventQueue<SimEvent>) {
+        // The user broadcasts the query into the network at the start of the
+        // period; the nearest backbone node acts as the collector for the
+        // area around the user's position *at broadcast time*.
+        let user_pos = self.motion.position_at(now);
+        let Some(collector) = self.nearest_backbone(user_pos) else {
+            return;
+        };
+        self.install_query(now, 0, k, collector, user_pos, queue);
+    }
+}
+
+impl World for SimWorld {
+    type Event = SimEvent;
+
+    fn handle(&mut self, now: SimTime, event: SimEvent, queue: &mut EventQueue<SimEvent>) {
+        match event {
+            SimEvent::ProfileDelivered(index) => self.handle_profile_delivered(now, index, queue),
+            SimEvent::PrefetchForward { generation, k, from } => {
+                self.handle_prefetch_forward(now, generation, k, from, queue)
+            }
+            SimEvent::PrefetchHop {
+                generation,
+                k,
+                route,
+                index,
+                attempt,
+            } => self.handle_prefetch_hop(now, generation, k, route, index, attempt, queue),
+            SimEvent::SetupBroadcast { k, node, attempt } => {
+                self.handle_setup_broadcast(now, k, node, attempt, queue)
+            }
+            SimEvent::SetupArrive { k, node } => self.handle_setup_arrive(now, k, node, queue),
+            SimEvent::SleepingDeliver { k, node, attempt } => {
+                self.handle_sleeping_deliver(now, k, node, attempt, queue)
+            }
+            SimEvent::LeafSend { k, node } => self.handle_leaf_send(now, k, node, queue),
+            SimEvent::DataSend {
+                k,
+                from,
+                to,
+                contributions,
+                attempt,
+            } => self.send_data(now, k, from, to, contributions, attempt, queue),
+            SimEvent::DataArrive {
+                k,
+                node,
+                contributions,
+            } => self.handle_data_arrive(now, k, node, contributions),
+            SimEvent::AggregateSend { k, node } => self.handle_aggregate_send(now, k, node, queue),
+            SimEvent::QueryDeadline { k } => self.handle_query_deadline(now, k),
+            SimEvent::NpLaunch { k } => self.handle_np_launch(now, k, queue),
+        }
+    }
+}

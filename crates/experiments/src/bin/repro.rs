@@ -1,0 +1,98 @@
+//! `repro` — regenerate the MobiQuery paper's figures and analytical tables.
+//!
+//! ```text
+//! repro [--quick] [--runs N] <fig4|fig5|fig6|fig7|fig8|analysis|all>
+//! ```
+//!
+//! Full mode uses the paper's settings (200 nodes, 450 m field, 400–500 s
+//! runs) and takes minutes per figure; `--quick` runs a scaled-down variant
+//! that preserves the qualitative comparisons and finishes in seconds.
+
+use mobiquery_experiments::{analysis_tables, fig4, fig5, fig6, fig7, fig8, ExperimentConfig};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: repro [--quick] [--runs N] <fig4|fig5|fig6|fig7|fig8|analysis|all>\n\
+         \n\
+         Regenerates the MobiQuery paper's evaluation figures as text tables/series.\n\
+         --quick   use the scaled-down scenario (fast, same qualitative shape)\n\
+         --runs N  number of topologies averaged per data point (default 3 full / 1 quick)"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut runs: Option<u64> = None;
+    let mut targets: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--runs" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => runs = Some(n),
+                None => return usage(),
+            },
+            "--help" | "-h" => return usage(),
+            other if other.starts_with('-') => return usage(),
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        return usage();
+    }
+
+    let mut config = if quick {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::full()
+    };
+    if let Some(n) = runs {
+        config.runs = n.max(1);
+    }
+
+    let run_target = |name: &str| -> bool {
+        match name {
+            "fig4" => println!("{}", fig4::run(&config)),
+            "fig5" => {
+                let out = fig5::run(&config);
+                println!("{}", out.jit);
+                println!("{}", out.greedy);
+                println!(
+                    "steady-state mean fidelity: MQ-JIT {:.3}, MQ-GP {:.3}",
+                    out.jit_steady_state_mean(10),
+                    out.greedy_steady_state_mean(10)
+                );
+            }
+            "fig6" => println!("{}", fig6::run(&config)),
+            "fig7" => println!("{}", fig7::run(&config)),
+            "fig8" => println!("{}", fig8::run(&config)),
+            "analysis" => {
+                for table in analysis_tables::run() {
+                    println!("{table}");
+                }
+            }
+            _ => return false,
+        }
+        true
+    };
+
+    let expanded: Vec<String> = if targets.iter().any(|t| t == "all") {
+        ["analysis", "fig4", "fig5", "fig6", "fig7", "fig8"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    } else {
+        targets
+    };
+
+    for target in &expanded {
+        if !run_target(target) {
+            eprintln!("unknown target: {target}");
+            return usage();
+        }
+    }
+    ExitCode::SUCCESS
+}

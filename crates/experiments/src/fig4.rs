@@ -1,0 +1,124 @@
+//! Figure 4 — success ratio of MQ-JIT, MQ-GP and NP across sleep periods and
+//! user speeds, under accurate (oracle) motion profiles.
+//!
+//! Paper setting: 400 s runs, the user changes direction/speed every 50 s,
+//! speed ranges {3–5, 6–10, 16–20} m/s, sleep periods {3, 6, 9, 12, 15} s,
+//! success threshold 95 % fidelity, averaged over 3 topologies.
+
+use crate::{run_replicated, ExperimentConfig};
+use mobiquery::config::Scheme;
+use wsn_metrics::Table;
+use wsn_mobility::ProfileSource;
+
+/// The sleep periods swept in the figure, in seconds.
+pub fn sleep_periods(config: &ExperimentConfig) -> Vec<f64> {
+    if config.quick {
+        vec![3.0, 9.0, 15.0]
+    } else {
+        vec![3.0, 6.0, 9.0, 12.0, 15.0]
+    }
+}
+
+/// The user speed ranges swept in the figure, in m/s.
+pub fn speed_ranges(config: &ExperimentConfig) -> Vec<(f64, f64)> {
+    if config.quick {
+        vec![(3.0, 5.0), (16.0, 20.0)]
+    } else {
+        vec![(3.0, 5.0), (6.0, 10.0), (16.0, 20.0)]
+    }
+}
+
+/// The schemes compared in the figure.
+pub const SCHEMES: [Scheme; 3] = [Scheme::JustInTime, Scheme::Greedy, Scheme::None];
+
+/// One data point of the figure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig4Point {
+    /// The prefetching scheme.
+    pub scheme: Scheme,
+    /// Duty-cycle sleep period in seconds.
+    pub sleep_period_s: f64,
+    /// Lower bound of the user speed range (m/s).
+    pub speed_min: f64,
+    /// Upper bound of the user speed range (m/s).
+    pub speed_max: f64,
+    /// Mean success ratio over the replicated runs.
+    pub success_ratio: f64,
+    /// 95 % confidence half-interval of the success ratio.
+    pub ci95: f64,
+}
+
+/// Runs the full sweep and returns every data point.
+pub fn run_points(config: &ExperimentConfig) -> Vec<Fig4Point> {
+    let mut points = Vec::new();
+    for &(speed_min, speed_max) in &speed_ranges(config) {
+        for &sleep in &sleep_periods(config) {
+            for &scheme in &SCHEMES {
+                let scenario = config
+                    .base_scenario()
+                    .with_sleep_period_secs(sleep)
+                    .with_speed_range(speed_min, speed_max)
+                    .with_profile_source(ProfileSource::Oracle)
+                    .with_scheme(scheme);
+                let summary = run_replicated(config, &scenario, |o| o.success_ratio);
+                points.push(Fig4Point {
+                    scheme,
+                    sleep_period_s: sleep,
+                    speed_min,
+                    speed_max,
+                    success_ratio: summary.mean(),
+                    ci95: summary.ci95(),
+                });
+            }
+        }
+    }
+    points
+}
+
+/// Runs the sweep and formats it as the paper's Figure 4 table
+/// (rows: scheme × speed range, columns: sleep period).
+pub fn run(config: &ExperimentConfig) -> Table {
+    let sleeps = sleep_periods(config);
+    let points = run_points(config);
+    let mut columns = vec!["scheme / speed (m/s)".to_string()];
+    columns.extend(sleeps.iter().map(|s| format!("sleep={s}s")));
+    let mut table = Table::new(
+        "Figure 4: success ratio vs sleep period and user speed (oracle motion profile)",
+        columns,
+    );
+    for &(lo, hi) in &speed_ranges(config) {
+        for &scheme in &SCHEMES {
+            let values: Vec<f64> = sleeps
+                .iter()
+                .map(|&s| {
+                    points
+                        .iter()
+                        .find(|p| {
+                            p.scheme == scheme
+                                && p.sleep_period_s == s
+                                && p.speed_min == lo
+                                && p.speed_max == hi
+                        })
+                        .map(|p| p.success_ratio)
+                        .unwrap_or(f64::NAN)
+                })
+                .collect();
+            table.push_labeled_row(format!("{} {lo}-{hi}", scheme.label()), &values);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_dimensions_match_config() {
+        let quick = ExperimentConfig::quick();
+        let full = ExperimentConfig::full();
+        assert_eq!(sleep_periods(&full).len(), 5);
+        assert_eq!(speed_ranges(&full).len(), 3);
+        assert!(sleep_periods(&quick).len() < 5);
+    }
+}

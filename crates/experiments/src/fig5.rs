@@ -1,0 +1,83 @@
+//! Figure 5 — dynamic behaviour: per-period data fidelity of MQ-JIT and
+//! MQ-GP at each pickup point.
+//!
+//! Paper setting: sleep period 15 s, walking user (3–5 m/s), oracle motion
+//! profile, 200 query periods. MQ-JIT reaches 100 % fidelity after an initial
+//! warm-up of about five periods; MQ-GP shows large variance caused by
+//! congestion losses.
+
+use crate::{run_scenario, ExperimentConfig};
+use mobiquery::config::Scheme;
+use wsn_metrics::Series;
+use wsn_mobility::ProfileSource;
+
+/// Per-scheme fidelity time series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig5Output {
+    /// Per-period fidelity of just-in-time prefetching.
+    pub jit: Series,
+    /// Per-period fidelity of greedy prefetching.
+    pub greedy: Series,
+}
+
+impl Fig5Output {
+    /// Mean fidelity of MQ-JIT after the warm-up phase (periods > `skip`).
+    pub fn jit_steady_state_mean(&self, skip: usize) -> f64 {
+        steady_mean(&self.jit, skip)
+    }
+
+    /// Mean fidelity of MQ-GP after the warm-up phase.
+    pub fn greedy_steady_state_mean(&self, skip: usize) -> f64 {
+        steady_mean(&self.greedy, skip)
+    }
+}
+
+fn steady_mean(series: &Series, skip: usize) -> f64 {
+    let pts: Vec<f64> = series.points().iter().skip(skip).map(|&(_, y)| y).collect();
+    if pts.is_empty() {
+        0.0
+    } else {
+        pts.iter().sum::<f64>() / pts.len() as f64
+    }
+}
+
+/// Runs the two schemes and returns their fidelity series.
+pub fn run(config: &ExperimentConfig) -> Fig5Output {
+    let base = config
+        .base_scenario()
+        .with_sleep_period_secs(15.0)
+        .with_speed_range(3.0, 5.0)
+        .with_profile_source(ProfileSource::Oracle)
+        .with_seed(config.base_seed);
+
+    let mut out = Fig5Output {
+        jit: Series::new("MQ-JIT"),
+        greedy: Series::new("MQ-GP"),
+    };
+    for (scheme, series) in [
+        (Scheme::JustInTime, &mut out.jit),
+        (Scheme::Greedy, &mut out.greedy),
+    ] {
+        let result = run_scenario(base.clone().with_scheme(scheme));
+        for (k, fidelity) in result.fidelity_series() {
+            series.push(k as f64, fidelity);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_mean_skips_warmup() {
+        let mut s = Series::new("x");
+        s.push(1.0, 0.0);
+        s.push(2.0, 0.0);
+        s.push(3.0, 1.0);
+        s.push(4.0, 1.0);
+        assert_eq!(steady_mean(&s, 2), 1.0);
+        assert_eq!(steady_mean(&s, 10), 0.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! # mobiquery-experiments
+//!
+//! The experiment harness that regenerates every figure of the MobiQuery
+//! paper's evaluation (Section 6) and the worked analytical examples of
+//! Section 5.
+//!
+//! Each `figN` module exposes a `run(&ExperimentConfig)` function returning
+//! the corresponding table or series; the `repro` binary prints them, the
+//! Criterion benches time them, and the integration tests assert the
+//! qualitative shapes (who wins, how trends go) that the paper reports.
+//!
+//! Experiments come in two sizes:
+//!
+//! * **full** — the paper's settings (200 nodes, 450 m field, 400–500 s
+//!   runs, several topologies per point); minutes of CPU per figure.
+//! * **quick** — a scaled-down variant (fewer nodes, shorter runs, fewer
+//!   parameter points) that preserves the qualitative comparisons; used by
+//!   benches and CI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis_tables;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+
+use mobiquery::config::Scenario;
+use mobiquery::sim::{Simulation, SimulationOutput};
+use wsn_sim::stats::Summary;
+
+/// Controls how heavy each experiment is.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExperimentConfig {
+    /// Run the paper-scale version (`false`) or the scaled-down quick
+    /// version (`true`).
+    pub quick: bool,
+    /// Number of independent topologies/runs averaged per data point.
+    pub runs: u64,
+    /// Base RNG seed; run `r` of a point uses `base_seed + r`.
+    pub base_seed: u64,
+}
+
+impl ExperimentConfig {
+    /// The paper-scale configuration (3 runs per point, as in Figure 4).
+    pub fn full() -> Self {
+        ExperimentConfig {
+            quick: false,
+            runs: 3,
+            base_seed: 42,
+        }
+    }
+
+    /// The scaled-down configuration used by benches and CI.
+    pub fn quick() -> Self {
+        ExperimentConfig {
+            quick: true,
+            runs: 1,
+            base_seed: 42,
+        }
+    }
+
+    /// The base scenario for this configuration: the paper's Section 6.1
+    /// settings, or a smaller field/population/duration in quick mode.
+    pub fn base_scenario(&self) -> Scenario {
+        if self.quick {
+            Scenario::paper_default()
+                .with_node_count(90)
+                .with_region_side(300.0)
+                .with_duration_secs(80.0)
+        } else {
+            Scenario::paper_default()
+        }
+    }
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig::full()
+    }
+}
+
+/// Runs one scenario and returns its output.
+///
+/// # Panics
+///
+/// Panics if the scenario fails validation — experiment code constructs its
+/// scenarios from [`ExperimentConfig::base_scenario`], so a failure here is a
+/// programming error, not user input.
+pub fn run_scenario(scenario: Scenario) -> SimulationOutput {
+    Simulation::new(scenario)
+        .expect("experiment scenarios are valid by construction")
+        .run()
+}
+
+/// Runs `config.runs` independent repetitions of `scenario` (differing only
+/// in seed) and returns the summary of the value extracted by `metric`.
+pub fn run_replicated(
+    config: &ExperimentConfig,
+    scenario: &Scenario,
+    metric: impl Fn(&SimulationOutput) -> f64,
+) -> Summary {
+    (0..config.runs)
+        .map(|r| {
+            let out = run_scenario(scenario.clone().with_seed(config.base_seed + r));
+            metric(&out)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobiquery::config::Scheme;
+
+    #[test]
+    fn quick_config_shrinks_the_scenario() {
+        let quick = ExperimentConfig::quick().base_scenario();
+        let full = ExperimentConfig::full().base_scenario();
+        assert!(quick.node_count < full.node_count);
+        assert!(quick.motion.duration < full.motion.duration);
+    }
+
+    #[test]
+    fn replicated_runs_average_the_metric() {
+        let config = ExperimentConfig {
+            quick: true,
+            runs: 2,
+            base_seed: 7,
+        };
+        let scenario = config
+            .base_scenario()
+            .with_duration_secs(30.0)
+            .with_scheme(Scheme::JustInTime);
+        let summary = run_replicated(&config, &scenario, |o| o.mean_fidelity);
+        assert_eq!(summary.count(), 2);
+        assert!(summary.mean() > 0.0 && summary.mean() <= 1.0);
+    }
+}

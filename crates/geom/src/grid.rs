@@ -1,0 +1,275 @@
+//! A uniform spatial hash grid for fast range queries over node positions.
+
+use crate::{Circle, Point, Rect};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when constructing a [`SpatialGrid`] with an invalid cell size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridError {
+    kind: &'static str,
+}
+
+impl fmt::Display for GridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid spatial grid parameter: {}", self.kind)
+    }
+}
+
+impl Error for GridError {}
+
+/// A uniform grid (spatial hash) over a rectangular region that buckets
+/// items by position.
+///
+/// The wireless channel model asks "which nodes are within communication
+/// range of node *n*?" for every transmission; with 200 nodes a linear scan
+/// would be acceptable, but the grid keeps the simulator comfortably fast for
+/// the larger deployments exercised in the benchmarks (thousands of nodes).
+///
+/// Items are identified by a caller-chosen `usize` id (node index).
+///
+/// ```
+/// use wsn_geom::{Point, Rect, SpatialGrid};
+///
+/// let mut grid = SpatialGrid::new(Rect::square(450.0), 105.0)?;
+/// grid.insert(0, Point::new(10.0, 10.0));
+/// grid.insert(1, Point::new(50.0, 10.0));
+/// grid.insert(2, Point::new(400.0, 400.0));
+/// let near: Vec<usize> = grid.query_range(Point::new(0.0, 0.0), 100.0).collect();
+/// assert!(near.contains(&0) && near.contains(&1) && !near.contains(&2));
+/// # Ok::<(), wsn_geom::GridError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpatialGrid {
+    region: Rect,
+    cell: f64,
+    cols: usize,
+    rows: usize,
+    cells: Vec<Vec<(usize, Point)>>,
+    positions: HashMap<usize, Point>,
+}
+
+impl SpatialGrid {
+    /// Creates an empty grid over `region` with square cells of side `cell_size`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError`] if `cell_size` is not strictly positive and finite.
+    pub fn new(region: Rect, cell_size: f64) -> Result<Self, GridError> {
+        if !(cell_size.is_finite() && cell_size > 0.0) {
+            return Err(GridError {
+                kind: "cell size must be positive and finite",
+            });
+        }
+        let cols = (region.width() / cell_size).ceil().max(1.0) as usize;
+        let rows = (region.height() / cell_size).ceil().max(1.0) as usize;
+        Ok(SpatialGrid {
+            region,
+            cell: cell_size,
+            cols,
+            rows,
+            cells: vec![Vec::new(); cols * rows],
+            positions: HashMap::new(),
+        })
+    }
+
+    /// Number of items stored in the grid.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Returns `true` when the grid holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// The region this grid covers.
+    pub fn region(&self) -> Rect {
+        self.region
+    }
+
+    fn cell_index(&self, p: Point) -> usize {
+        let clamped = self.region.clamp(p);
+        let cx = (((clamped.x - self.region.min_x) / self.cell) as usize).min(self.cols - 1);
+        let cy = (((clamped.y - self.region.min_y) / self.cell) as usize).min(self.rows - 1);
+        cy * self.cols + cx
+    }
+
+    /// Inserts an item, or moves it if it is already present.
+    pub fn insert(&mut self, id: usize, position: Point) {
+        if self.positions.contains_key(&id) {
+            self.remove(id);
+        }
+        let idx = self.cell_index(position);
+        self.cells[idx].push((id, position));
+        self.positions.insert(id, position);
+    }
+
+    /// Removes an item. Returns its last position if it was present.
+    pub fn remove(&mut self, id: usize) -> Option<Point> {
+        let pos = self.positions.remove(&id)?;
+        let idx = self.cell_index(pos);
+        self.cells[idx].retain(|(other, _)| *other != id);
+        Some(pos)
+    }
+
+    /// Position of an item, if present.
+    pub fn position(&self, id: usize) -> Option<Point> {
+        self.positions.get(&id).copied()
+    }
+
+    /// Iterator over the ids of all items within `radius` of `center`
+    /// (inclusive of the boundary).
+    pub fn query_range(&self, center: Point, radius: f64) -> impl Iterator<Item = usize> + '_ {
+        self.query_range_with_pos(center, radius).map(|(id, _)| id)
+    }
+
+    /// Iterator over `(id, position)` of all items within `radius` of `center`.
+    pub fn query_range_with_pos(
+        &self,
+        center: Point,
+        radius: f64,
+    ) -> impl Iterator<Item = (usize, Point)> + '_ {
+        let r = radius.max(0.0);
+        let min_cx = (((center.x - r - self.region.min_x) / self.cell).floor().max(0.0)) as usize;
+        let max_cx = (((center.x + r - self.region.min_x) / self.cell).floor().max(0.0) as usize)
+            .min(self.cols - 1);
+        let min_cy = (((center.y - r - self.region.min_y) / self.cell).floor().max(0.0)) as usize;
+        let max_cy = (((center.y + r - self.region.min_y) / self.cell).floor().max(0.0) as usize)
+            .min(self.rows - 1);
+        let min_cx = min_cx.min(self.cols - 1);
+        let min_cy = min_cy.min(self.rows - 1);
+        let r_sq = r * r;
+        (min_cy..=max_cy)
+            .flat_map(move |cy| (min_cx..=max_cx).map(move |cx| cy * self.cols + cx))
+            .flat_map(move |idx| self.cells[idx].iter().copied())
+            .filter(move |(_, p)| center.distance_sq_to(*p) <= r_sq + 1e-9)
+    }
+
+    /// Iterator over the ids of all items inside the given circle.
+    pub fn query_circle(&self, circle: Circle) -> impl Iterator<Item = usize> + '_ {
+        self.query_range(circle.center, circle.radius)
+    }
+
+    /// Id and position of the item nearest to `target`, if any.
+    pub fn nearest(&self, target: Point) -> Option<(usize, Point)> {
+        // Simple approach: expand the search radius until something is found,
+        // falling back to a full scan. The grid is small enough that the full
+        // scan fallback is cheap and keeps the logic obviously correct.
+        let mut best: Option<(usize, Point)> = None;
+        let mut best_d = f64::INFINITY;
+        for (&id, &pos) in &self.positions {
+            let d = target.distance_sq_to(pos);
+            if d < best_d {
+                best_d = d;
+                best = Some((id, pos));
+            }
+        }
+        best
+    }
+
+    /// Iterator over every `(id, position)` pair in the grid, in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, Point)> + '_ {
+        self.positions.iter().map(|(&id, &p)| (id, p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_with_points(points: &[(usize, Point)]) -> SpatialGrid {
+        let mut g = SpatialGrid::new(Rect::square(450.0), 105.0).unwrap();
+        for &(id, p) in points {
+            g.insert(id, p);
+        }
+        g
+    }
+
+    #[test]
+    fn invalid_cell_size_is_an_error() {
+        assert!(SpatialGrid::new(Rect::square(10.0), 0.0).is_err());
+        assert!(SpatialGrid::new(Rect::square(10.0), f64::NAN).is_err());
+        assert!(SpatialGrid::new(Rect::square(10.0), -5.0).is_err());
+    }
+
+    #[test]
+    fn insert_query_remove_round_trip() {
+        let mut g = grid_with_points(&[(7, Point::new(10.0, 10.0))]);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.position(7), Some(Point::new(10.0, 10.0)));
+        assert_eq!(g.remove(7), Some(Point::new(10.0, 10.0)));
+        assert!(g.is_empty());
+        assert_eq!(g.remove(7), None);
+    }
+
+    #[test]
+    fn reinsert_moves_item() {
+        let mut g = grid_with_points(&[(3, Point::new(10.0, 10.0))]);
+        g.insert(3, Point::new(400.0, 400.0));
+        assert_eq!(g.len(), 1);
+        let found: Vec<_> = g.query_range(Point::new(400.0, 400.0), 5.0).collect();
+        assert_eq!(found, vec![3]);
+        assert_eq!(g.query_range(Point::new(10.0, 10.0), 5.0).count(), 0);
+    }
+
+    #[test]
+    fn range_query_matches_brute_force() {
+        // Deterministic pseudo-random points via a simple LCG so this test
+        // does not need the rand crate at build time.
+        let mut state: u64 = 0x1234_5678;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) * 450.0
+        };
+        let pts: Vec<(usize, Point)> = (0..300).map(|i| (i, Point::new(next(), next()))).collect();
+        let g = grid_with_points(&pts);
+        let center = Point::new(200.0, 220.0);
+        let radius = 105.0;
+        let mut from_grid: Vec<usize> = g.query_range(center, radius).collect();
+        from_grid.sort_unstable();
+        let mut brute: Vec<usize> = pts
+            .iter()
+            .filter(|(_, p)| center.distance_to(*p) <= radius)
+            .map(|(i, _)| *i)
+            .collect();
+        brute.sort_unstable();
+        assert_eq!(from_grid, brute);
+    }
+
+    #[test]
+    fn query_outside_region_is_safe() {
+        let g = grid_with_points(&[(0, Point::new(5.0, 5.0))]);
+        // Query centred far outside the region must not panic and still finds
+        // nothing (or the clamped cell's contents filtered by distance).
+        assert_eq!(g.query_range(Point::new(-1000.0, -1000.0), 10.0).count(), 0);
+        assert_eq!(g.query_range(Point::new(10_000.0, 10_000.0), 10.0).count(), 0);
+    }
+
+    #[test]
+    fn nearest_returns_closest() {
+        let g = grid_with_points(&[
+            (0, Point::new(10.0, 10.0)),
+            (1, Point::new(100.0, 100.0)),
+            (2, Point::new(440.0, 440.0)),
+        ]);
+        assert_eq!(g.nearest(Point::new(95.0, 95.0)).unwrap().0, 1);
+        assert_eq!(g.nearest(Point::new(0.0, 0.0)).unwrap().0, 0);
+    }
+
+    #[test]
+    fn nearest_on_empty_grid_is_none() {
+        let g = SpatialGrid::new(Rect::square(10.0), 1.0).unwrap();
+        assert!(g.nearest(Point::ORIGIN).is_none());
+    }
+
+    #[test]
+    fn query_circle_equivalent_to_query_range() {
+        let g = grid_with_points(&[(0, Point::new(50.0, 50.0)), (1, Point::new(300.0, 300.0))]);
+        let c = Circle::new(Point::new(40.0, 40.0), 30.0);
+        let a: Vec<_> = g.query_circle(c).collect();
+        let b: Vec<_> = g.query_range(c.center, c.radius).collect();
+        assert_eq!(a, b);
+    }
+}

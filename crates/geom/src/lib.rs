@@ -1,0 +1,79 @@
+//! # wsn-geom
+//!
+//! Two-dimensional geometry primitives used throughout the MobiQuery
+//! reproduction: points, vectors, circles (query areas and radio ranges),
+//! rectangles (deployment regions), line segments (user paths) and a uniform
+//! spatial grid used for fast neighbour queries over sensor deployments.
+//!
+//! All quantities are in metres unless stated otherwise. The types are small
+//! `Copy` value types implementing the common traits recommended by the Rust
+//! API guidelines so that they compose well with the rest of the workspace.
+//!
+//! ```
+//! use wsn_geom::{Point, Circle};
+//!
+//! let user = Point::new(100.0, 50.0);
+//! let query_area = Circle::new(user, 150.0);
+//! assert!(query_area.contains(Point::new(120.0, 60.0)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod circle;
+mod grid;
+mod point;
+mod rect;
+mod segment;
+mod vector;
+
+pub use circle::Circle;
+pub use grid::{GridError, SpatialGrid};
+pub use point::Point;
+pub use rect::Rect;
+pub use segment::Segment;
+pub use vector::Vector;
+
+/// Convenience constant: metres per second corresponding to one mile per hour.
+pub const MPH_TO_MPS: f64 = 0.44704;
+
+/// Converts a speed in metres per second to miles per hour.
+///
+/// The paper quotes prefetch-message speeds and the contention threshold `v*`
+/// in miles per hour, so the analysis module needs this conversion.
+///
+/// ```
+/// let mph = wsn_geom::mps_to_mph(4.0);
+/// assert!((mph - 8.9477).abs() < 1e-3);
+/// ```
+pub fn mps_to_mph(mps: f64) -> f64 {
+    mps / MPH_TO_MPS
+}
+
+/// Converts a speed in miles per hour to metres per second.
+///
+/// ```
+/// let mps = wsn_geom::mph_to_mps(469.0);
+/// assert!((mps - 209.66).abs() < 0.1);
+/// ```
+pub fn mph_to_mps(mph: f64) -> f64 {
+    mph * MPH_TO_MPS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mph_round_trip() {
+        for v in [0.0, 1.0, 4.0, 20.0, 469.0] {
+            assert!((mph_to_mps(mps_to_mph(v)) - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn walking_speed_is_about_nine_mph() {
+        // The paper's example: a human walking at 4 m/s.
+        assert!((mps_to_mph(4.0) - 8.95).abs() < 0.01);
+    }
+}

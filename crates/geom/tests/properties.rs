@@ -1,0 +1,129 @@
+//! Property-based tests for the geometry primitives.
+
+use proptest::prelude::*;
+use wsn_geom::{Circle, Point, Rect, Segment, SpatialGrid, Vector};
+
+fn finite_coord() -> impl Strategy<Value = f64> {
+    -1.0e4..1.0e4
+}
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (finite_coord(), finite_coord()).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_vector() -> impl Strategy<Value = Vector> {
+    (finite_coord(), finite_coord()).prop_map(|(x, y)| Vector::new(x, y))
+}
+
+proptest! {
+    #[test]
+    fn distance_triangle_inequality(a in arb_point(), b in arb_point(), c in arb_point()) {
+        let ab = a.distance_to(b);
+        let bc = b.distance_to(c);
+        let ac = a.distance_to(c);
+        prop_assert!(ac <= ab + bc + 1e-6);
+    }
+
+    #[test]
+    fn distance_symmetry(a in arb_point(), b in arb_point()) {
+        prop_assert!((a.distance_to(b) - b.distance_to(a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vector_add_commutes(a in arb_vector(), b in arb_vector()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn point_plus_minus_vector_round_trips(p in arb_point(), v in arb_vector()) {
+        let q = (p + v) - v;
+        prop_assert!((q.x - p.x).abs() < 1e-6);
+        prop_assert!((q.y - p.y).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalized_length_is_one_or_zero(v in arb_vector()) {
+        let n = v.normalized();
+        let len = n.length();
+        prop_assert!(len < 1e-9 || (len - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn circle_contains_center(c in arb_point(), r in 0.0f64..500.0) {
+        prop_assert!(Circle::new(c, r).contains(c));
+    }
+
+    #[test]
+    fn circle_boundary_intersections_on_both(
+        cx in -100.0f64..100.0, cy in -100.0f64..100.0,
+        dx in -100.0f64..100.0, dy in -100.0f64..100.0,
+        r1 in 1.0f64..100.0, r2 in 1.0f64..100.0,
+    ) {
+        let a = Circle::new(Point::new(cx, cy), r1);
+        let b = Circle::new(Point::new(cx + dx, cy + dy), r2);
+        if let Some((p, q)) = a.boundary_intersections(&b) {
+            for pt in [p, q] {
+                prop_assert!((a.center.distance_to(pt) - a.radius).abs() < 1e-6);
+                prop_assert!((b.center.distance_to(pt) - b.radius).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn rect_reflect_always_inside(x in -2000.0f64..2000.0, y in -2000.0f64..2000.0) {
+        let region = Rect::square(450.0);
+        let (p, _, _) = region.reflect(Point::new(x, y));
+        prop_assert!(region.contains(p));
+    }
+
+    #[test]
+    fn rect_clamp_idempotent(x in -2000.0f64..2000.0, y in -2000.0f64..2000.0) {
+        let region = Rect::square(450.0);
+        let once = region.clamp(Point::new(x, y));
+        let twice = region.clamp(once);
+        prop_assert_eq!(once, twice);
+        prop_assert!(region.contains(once));
+    }
+
+    #[test]
+    fn segment_point_at_distance_consistent(a in arb_point(), b in arb_point(), t in 0.0f64..1.0) {
+        let s = Segment::new(a, b);
+        let len = s.length();
+        prop_assume!(len > 1e-6);
+        let via_t = s.point_at(t);
+        let via_d = s.point_at_distance(t * len);
+        prop_assert!(via_t.distance_to(via_d) < 1e-6);
+    }
+
+    #[test]
+    fn segment_distance_to_endpoint_never_exceeds(a in arb_point(), b in arb_point(), p in arb_point()) {
+        let s = Segment::new(a, b);
+        let d = s.distance_to_point(p);
+        prop_assert!(d <= a.distance_to(p) + 1e-9);
+        prop_assert!(d <= b.distance_to(p) + 1e-9);
+    }
+
+    #[test]
+    fn grid_range_query_matches_brute_force(
+        pts in proptest::collection::vec((0.0f64..450.0, 0.0f64..450.0), 1..120),
+        qx in 0.0f64..450.0,
+        qy in 0.0f64..450.0,
+        r in 1.0f64..200.0,
+    ) {
+        let mut grid = SpatialGrid::new(Rect::square(450.0), 50.0).unwrap();
+        for (i, &(x, y)) in pts.iter().enumerate() {
+            grid.insert(i, Point::new(x, y));
+        }
+        let center = Point::new(qx, qy);
+        let mut got: Vec<usize> = grid.query_range(center, r).collect();
+        got.sort_unstable();
+        let mut want: Vec<usize> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, &(x, y))| center.distance_to(Point::new(x, y)) <= r)
+            .map(|(i, _)| i)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,135 @@
+//! Labelled numeric series, the data behind the paper's line plots.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use wsn_sim::stats::Summary;
+
+/// A named series of `(x, y)` points, e.g. "MQ-JIT data fidelity per period".
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Series {
+    name: String,
+    points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// The series name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// The points in insertion order.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` when the series has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Summary statistics of the y values.
+    pub fn y_summary(&self) -> Summary {
+        self.points.iter().map(|&(_, y)| y).collect()
+    }
+
+    /// The y value at the given x, if a point with exactly that x exists.
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|&&(px, _)| (px - x).abs() < 1e-9)
+            .map(|&(_, y)| y)
+    }
+
+    /// Renders the series as CSV lines `x,y` preceded by a header naming the
+    /// series.
+    pub fn to_csv(&self) -> String {
+        let mut out = format!("x,{}\n", self.name);
+        for &(x, y) in &self.points {
+            out.push_str(&format!("{x},{y}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Series {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# {} ({} points)", self.name, self.points.len())?;
+        for &(x, y) in &self.points {
+            writeln!(f, "{x:>10.3} {y:>10.4}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<(f64, f64)> for Series {
+    fn from_iter<I: IntoIterator<Item = (f64, f64)>>(iter: I) -> Self {
+        Series {
+            name: String::from("series"),
+            points: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<(f64, f64)> for Series {
+    fn extend<I: IntoIterator<Item = (f64, f64)>>(&mut self, iter: I) {
+        self.points.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_query() {
+        let mut s = Series::new("fidelity");
+        s.push(1.0, 0.9);
+        s.push(2.0, 1.0);
+        assert_eq!(s.name(), "fidelity");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.y_at(2.0), Some(1.0));
+        assert_eq!(s.y_at(3.0), None);
+        assert!((s.y_summary().mean() - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_contains_header_and_rows() {
+        let mut s = Series::new("mq-jit");
+        s.push(1.0, 0.5);
+        let csv = s.to_csv();
+        assert!(csv.starts_with("x,mq-jit\n"));
+        assert!(csv.contains("1,0.5"));
+    }
+
+    #[test]
+    fn display_is_nonempty_even_when_empty() {
+        let s = Series::new("empty");
+        assert!(s.is_empty());
+        assert!(!format!("{s}").is_empty());
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut s: Series = vec![(1.0, 2.0)].into_iter().collect();
+        s.extend(vec![(3.0, 4.0)]);
+        assert_eq!(s.points(), &[(1.0, 2.0), (3.0, 4.0)]);
+    }
+}

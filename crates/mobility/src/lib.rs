@@ -1,0 +1,40 @@
+//! # wsn-mobility
+//!
+//! Mobility substrate for the MobiQuery reproduction: the ground-truth motion
+//! of the mobile user, the GPS/localization error model, and the motion
+//! profiles (predicted future paths) that MobiQuery's prefetching relies on.
+//!
+//! The paper's evaluation (Section 6) moves a user through a 450 m × 450 m
+//! field, changing direction and speed every *I* seconds with speeds drawn
+//! from a range (walking 3–5 m/s, running 6–10 m/s, vehicle 16–20 m/s).
+//! Motion profiles reach MobiQuery either from a **planner** (exact knowledge,
+//! `Ta` seconds before each change) or from a **history-based predictor**
+//! (velocity estimated from two GPS fixes taken δ = 8 s apart, each with a
+//! bounded random location error), which corresponds to a negative advance
+//! time.
+//!
+//! ```
+//! use wsn_mobility::{MotionConfig, UserMotion, planner_profiles};
+//! use wsn_sim::SimRng;
+//!
+//! let config = MotionConfig::paper_default();
+//! let mut rng = SimRng::seed_from_u64(1);
+//! let motion = UserMotion::generate(&config, &mut rng);
+//! let profiles = planner_profiles(&motion, 6.0);
+//! assert!(!profiles.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gps;
+pub mod path;
+pub mod profile;
+pub mod source;
+pub mod user;
+
+pub use gps::GpsModel;
+pub use path::{MotionLeg, MotionPath};
+pub use profile::MotionProfile;
+pub use source::{planner_profiles, predictor_profiles, ProfileSource};
+pub use user::{MotionConfig, MotionEvent, UserMotion};

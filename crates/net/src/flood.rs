@@ -1,0 +1,208 @@
+//! Bounded-area flooding and the query-tree structure it induces.
+//!
+//! Query dissemination in MobiQuery floods a setup message from the collector
+//! node to every backbone node inside the query area; each node adopts the
+//! first node it hears the message from as its parent, which yields a
+//! breadth-first spanning tree rooted at the collector. Sleeping nodes later
+//! attach to that tree as leaves.
+
+use crate::neighbors::NeighborTable;
+use crate::node::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+
+/// The spanning tree produced by flooding a message within a node subset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FloodTree {
+    /// The root (collector) node.
+    pub root: NodeId,
+    /// Parent of each reached node; the root maps to `None`.
+    pub parent: HashMap<NodeId, Option<NodeId>>,
+    /// Hop distance of each reached node from the root.
+    pub hops: HashMap<NodeId, u32>,
+    /// Nodes in the order the flood reaches them (BFS order, root first).
+    pub order: Vec<NodeId>,
+}
+
+impl FloodTree {
+    /// Builds the BFS flood tree rooted at `root` over the subgraph induced by
+    /// the nodes for which `member` returns `true`.
+    ///
+    /// `root` is always included even if `member(root)` is `false` (the
+    /// collector may sit just outside the query area, within `Rp` of the
+    /// pickup point).
+    pub fn build(
+        root: NodeId,
+        neighbors: &NeighborTable,
+        mut member: impl FnMut(NodeId) -> bool,
+    ) -> Self {
+        let mut parent = HashMap::new();
+        let mut hops = HashMap::new();
+        let mut order = Vec::new();
+        let mut queue = VecDeque::new();
+
+        parent.insert(root, None);
+        hops.insert(root, 0);
+        order.push(root);
+        queue.push_back(root);
+
+        while let Some(u) = queue.pop_front() {
+            let d = hops[&u];
+            for &v in neighbors.neighbors_of(u) {
+                if parent.contains_key(&v) || !member(v) {
+                    continue;
+                }
+                parent.insert(v, Some(u));
+                hops.insert(v, d + 1);
+                order.push(v);
+                queue.push_back(v);
+            }
+        }
+
+        FloodTree {
+            root,
+            parent,
+            hops,
+            order,
+        }
+    }
+
+    /// Number of nodes reached by the flood (including the root).
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Returns `true` when only the root is in the tree.
+    pub fn is_empty(&self) -> bool {
+        self.order.len() <= 1
+    }
+
+    /// Returns `true` when `node` was reached by the flood.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.parent.contains_key(&node)
+    }
+
+    /// The parent of `node`, or `None` for the root or unreached nodes.
+    pub fn parent_of(&self, node: NodeId) -> Option<NodeId> {
+        self.parent.get(&node).copied().flatten()
+    }
+
+    /// Hop distance of `node` from the root, if reached.
+    pub fn depth_of(&self, node: NodeId) -> Option<u32> {
+        self.hops.get(&node).copied()
+    }
+
+    /// The maximum hop distance of any reached node (the tree's depth).
+    pub fn depth(&self) -> u32 {
+        self.hops.values().copied().max().unwrap_or(0)
+    }
+
+    /// The children of `node` in the tree.
+    pub fn children_of(&self, node: NodeId) -> Vec<NodeId> {
+        let mut children: Vec<NodeId> = self
+            .parent
+            .iter()
+            .filter_map(|(&child, &p)| (p == Some(node)).then_some(child))
+            .collect();
+        children.sort_unstable();
+        children
+    }
+
+    /// The path from `node` up to the root (inclusive of both), or `None`
+    /// when the node was not reached.
+    pub fn path_to_root(&self, node: NodeId) -> Option<Vec<NodeId>> {
+        if !self.contains(node) {
+            return None;
+        }
+        let mut path = vec![node];
+        let mut current = node;
+        while let Some(p) = self.parent_of(current) {
+            path.push(p);
+            current = p;
+        }
+        Some(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_geom::{Point, Rect};
+
+    fn line_table(n: usize) -> NeighborTable {
+        let positions: Vec<Point> = (0..n).map(|i| Point::new(i as f64 * 100.0, 0.0)).collect();
+        NeighborTable::build(&positions, Rect::square(2000.0), 105.0)
+    }
+
+    #[test]
+    fn flood_reaches_connected_members() {
+        let table = line_table(6);
+        let tree = FloodTree::build(NodeId(0), &table, |_| true);
+        assert_eq!(tree.len(), 6);
+        assert_eq!(tree.depth(), 5);
+        assert_eq!(tree.parent_of(NodeId(3)), Some(NodeId(2)));
+        assert_eq!(tree.depth_of(NodeId(5)), Some(5));
+        assert_eq!(tree.order[0], NodeId(0));
+    }
+
+    #[test]
+    fn membership_limits_the_flood() {
+        let table = line_table(6);
+        // Node 3 is excluded, so 4 and 5 are unreachable.
+        let tree = FloodTree::build(NodeId(0), &table, |n| n != NodeId(3));
+        assert_eq!(tree.len(), 3);
+        assert!(!tree.contains(NodeId(4)));
+        assert!(tree.is_empty() == false);
+    }
+
+    #[test]
+    fn root_outside_membership_is_still_included() {
+        let table = line_table(4);
+        let tree = FloodTree::build(NodeId(0), &table, |n| n.index() >= 1);
+        assert!(tree.contains(NodeId(0)));
+        assert_eq!(tree.parent_of(NodeId(0)), None);
+        assert_eq!(tree.len(), 4);
+    }
+
+    #[test]
+    fn bfs_gives_shortest_hop_counts() {
+        // 3x3 grid with 100 m spacing.
+        let mut positions = Vec::new();
+        for y in 0..3 {
+            for x in 0..3 {
+                positions.push(Point::new(x as f64 * 100.0, y as f64 * 100.0));
+            }
+        }
+        let table = NeighborTable::build(&positions, Rect::square(450.0), 105.0);
+        let tree = FloodTree::build(NodeId(0), &table, |_| true);
+        // Opposite corner is 4 hops away on a 4-connected grid.
+        assert_eq!(tree.depth_of(NodeId(8)), Some(4));
+        assert_eq!(tree.depth_of(NodeId(4)), Some(2));
+    }
+
+    #[test]
+    fn children_and_path_are_consistent() {
+        let table = line_table(5);
+        let tree = FloodTree::build(NodeId(2), &table, |_| true);
+        assert_eq!(tree.children_of(NodeId(2)), vec![NodeId(1), NodeId(3)]);
+        assert_eq!(
+            tree.path_to_root(NodeId(0)),
+            Some(vec![NodeId(0), NodeId(1), NodeId(2)])
+        );
+        assert_eq!(tree.path_to_root(NodeId(4)).unwrap().last(), Some(&NodeId(2)));
+        // Every non-root node's parent is one hop shallower.
+        for &n in &tree.order {
+            if let Some(p) = tree.parent_of(n) {
+                assert_eq!(tree.depth_of(n).unwrap(), tree.depth_of(p).unwrap() + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn unreached_node_has_no_path() {
+        let table = line_table(4);
+        let tree = FloodTree::build(NodeId(0), &table, |n| n.index() < 2);
+        assert_eq!(tree.path_to_root(NodeId(3)), None);
+        assert_eq!(tree.depth_of(NodeId(3)), None);
+    }
+}

@@ -1,0 +1,45 @@
+//! # wsn-net
+//!
+//! The wireless-network substrate for the MobiQuery reproduction: everything
+//! the protocol needs from a sensor-network radio stack, modelled at the
+//! granularity the paper's evaluation actually depends on.
+//!
+//! The paper runs MobiQuery in ns-2 over IEEE 802.11 with the Power Saving
+//! Mode (PSM) extension of Chen et al. (SPAN). Three properties of that stack
+//! drive the published results, and this crate reproduces each of them:
+//!
+//! 1. **Wake-up latency.** Duty-cycled nodes only listen during a short
+//!    active window every sleep period, so a message for a sleeping node
+//!    waits — on average half a sleep period, in the worst case a full one
+//!    ([`psm::SleepSchedule`]).
+//! 2. **Contention.** When several query trees are set up concurrently (as
+//!    greedy prefetching does), transmissions in overlapping regions collide
+//!    and back off, losing packets ([`mac`]).
+//! 3. **Per-state radio power.** Energy is dominated by how long the radio
+//!    spends transmitting / receiving / idling / sleeping
+//!    ([`radio::RadioPowerProfile`]).
+//!
+//! On top of those models the crate provides plain-graph utilities used by the
+//! protocol: neighbour tables ([`neighbors`]), greedy geographic forwarding and
+//! area anycast ([`routing`]), and bounded-area flooding ([`flood`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod flood;
+pub mod mac;
+pub mod neighbors;
+pub mod node;
+pub mod psm;
+pub mod radio;
+pub mod routing;
+
+pub use channel::Channel;
+pub use flood::FloodTree;
+pub use mac::{ContentionTracker, MacConfig};
+pub use neighbors::NeighborTable;
+pub use node::{NodeId, NodeRole};
+pub use psm::SleepSchedule;
+pub use radio::{RadioConfig, RadioPowerProfile, RadioState};
+pub use routing::{greedy_next_hop, route_greedy, RouteError, RoutePath};

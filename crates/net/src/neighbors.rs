@@ -1,0 +1,177 @@
+//! Neighbour tables: which nodes are within communication range of which.
+
+use crate::node::NodeId;
+use wsn_geom::{Point, Rect, SpatialGrid};
+
+/// A static neighbour table for a fixed deployment.
+///
+/// Sensor nodes do not move in MobiQuery (only the user does), so the
+/// neighbour relation is computed once per topology and reused for the whole
+/// simulation.
+///
+/// ```
+/// use wsn_net::NeighborTable;
+/// use wsn_net::node::NodeId;
+/// use wsn_geom::{Point, Rect};
+///
+/// let positions = vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(50.0, 0.0),
+///     Point::new(300.0, 300.0),
+/// ];
+/// let table = NeighborTable::build(&positions, Rect::square(450.0), 105.0);
+/// assert!(table.are_neighbors(NodeId(0), NodeId(1)));
+/// assert!(!table.are_neighbors(NodeId(0), NodeId(2)));
+/// assert_eq!(table.degree(NodeId(2)), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NeighborTable {
+    neighbors: Vec<Vec<NodeId>>,
+    comm_range: f64,
+}
+
+impl NeighborTable {
+    /// Builds the table for `positions` within `region`, connecting every
+    /// pair of distinct nodes at most `comm_range` metres apart.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `comm_range` is not strictly positive and finite.
+    pub fn build(positions: &[Point], region: Rect, comm_range: f64) -> Self {
+        assert!(
+            comm_range.is_finite() && comm_range > 0.0,
+            "communication range must be positive"
+        );
+        let mut grid = SpatialGrid::new(region, comm_range)
+            .expect("positive comm range always yields a valid grid");
+        for (i, &p) in positions.iter().enumerate() {
+            grid.insert(i, p);
+        }
+        let neighbors = positions
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                let mut n: Vec<NodeId> = grid
+                    .query_range(p, comm_range)
+                    .filter(|&j| j != i)
+                    .map(NodeId)
+                    .collect();
+                n.sort_unstable();
+                n
+            })
+            .collect();
+        NeighborTable {
+            neighbors,
+            comm_range,
+        }
+    }
+
+    /// Number of nodes covered by the table.
+    pub fn node_count(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// The communication range the table was built with.
+    pub fn comm_range(&self) -> f64 {
+        self.comm_range
+    }
+
+    /// The neighbours of `node`, sorted by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn neighbors_of(&self, node: NodeId) -> &[NodeId] {
+        &self.neighbors[node.index()]
+    }
+
+    /// Number of neighbours of `node`.
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.neighbors[node.index()].len()
+    }
+
+    /// Returns `true` when `a` and `b` are within range of each other.
+    pub fn are_neighbors(&self, a: NodeId, b: NodeId) -> bool {
+        self.neighbors[a.index()].binary_search(&b).is_ok()
+    }
+
+    /// Average node degree across the deployment.
+    pub fn mean_degree(&self) -> f64 {
+        if self.neighbors.is_empty() {
+            return 0.0;
+        }
+        self.neighbors.iter().map(|n| n.len()).sum::<usize>() as f64 / self.neighbors.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_positions(n: usize, spacing: f64) -> Vec<Point> {
+        (0..n).map(|i| Point::new(i as f64 * spacing, 0.0)).collect()
+    }
+
+    #[test]
+    fn line_topology_has_expected_neighbors() {
+        // Nodes every 100 m with a 105 m range: each node hears only its
+        // immediate neighbours.
+        let pos = line_positions(5, 100.0);
+        let t = NeighborTable::build(&pos, Rect::square(450.0), 105.0);
+        assert_eq!(t.node_count(), 5);
+        assert_eq!(t.neighbors_of(NodeId(0)), &[NodeId(1)]);
+        assert_eq!(t.neighbors_of(NodeId(2)), &[NodeId(1), NodeId(3)]);
+        assert!(t.are_neighbors(NodeId(3), NodeId(4)));
+        assert!(!t.are_neighbors(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn symmetry_of_neighbor_relation() {
+        let pos = vec![
+            Point::new(10.0, 10.0),
+            Point::new(80.0, 40.0),
+            Point::new(200.0, 200.0),
+            Point::new(260.0, 240.0),
+        ];
+        let t = NeighborTable::build(&pos, Rect::square(450.0), 105.0);
+        for a in 0..pos.len() {
+            for b in 0..pos.len() {
+                assert_eq!(
+                    t.are_neighbors(NodeId(a), NodeId(b)),
+                    t.are_neighbors(NodeId(b), NodeId(a))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_self_neighbors() {
+        let pos = line_positions(4, 10.0);
+        let t = NeighborTable::build(&pos, Rect::square(450.0), 105.0);
+        for i in 0..4 {
+            assert!(!t.neighbors_of(NodeId(i)).contains(&NodeId(i)));
+        }
+    }
+
+    #[test]
+    fn mean_degree_counts_correctly() {
+        let pos = line_positions(3, 100.0);
+        let t = NeighborTable::build(&pos, Rect::square(450.0), 105.0);
+        // Degrees are 1, 2, 1.
+        assert!((t.mean_degree() - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(t.comm_range(), 105.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_range_panics() {
+        let _ = NeighborTable::build(&[Point::ORIGIN], Rect::square(10.0), 0.0);
+    }
+
+    #[test]
+    fn empty_deployment_is_fine() {
+        let t = NeighborTable::build(&[], Rect::square(10.0), 50.0);
+        assert_eq!(t.node_count(), 0);
+        assert_eq!(t.mean_degree(), 0.0);
+    }
+}

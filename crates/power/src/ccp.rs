@@ -1,0 +1,318 @@
+//! CCP-style backbone election based on sensing-coverage redundancy.
+//!
+//! The Coverage Configuration Protocol (Wang, Xing et al., SenSys 2003 — by
+//! the same group as the MobiQuery paper) lets a node sleep only when its
+//! sensing area is already K-covered by active neighbours; when the
+//! communication range is at least twice the sensing range, preserving
+//! coverage also preserves connectivity, so the active nodes form a connected
+//! backbone.
+//!
+//! MobiQuery only needs CCP for the backbone it produces, not for CCP's own
+//! protocol dynamics, so we run the eligibility rule as a centralised greedy
+//! pass at deployment time (documented substitution in `DESIGN.md`): nodes are
+//! visited in random order and put to sleep whenever the remaining active
+//! nodes still cover their sensing disk. Coverage of a disk is evaluated on a
+//! dense sample of points clipped to the deployment region, which is exact up
+//! to the sampling resolution and considerably more robust than the
+//! intersection-point rule in the presence of region boundaries.
+
+use crate::plan::PowerPlan;
+use serde::{Deserialize, Serialize};
+use wsn_geom::{Circle, Point, Rect, SpatialGrid};
+use wsn_net::{NodeRole, SleepSchedule};
+use wsn_sim::SimRng;
+
+/// Parameters of the CCP-style election.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CcpConfig {
+    /// Sensing range of every node, in metres. Paper default: 50 m.
+    pub sensing_range_m: f64,
+    /// Required degree of coverage (K). The paper uses K = 1.
+    pub coverage_degree: usize,
+    /// Spacing of the sample lattice used for the coverage check, in metres.
+    /// 5 m (a tenth of the sensing range) is ample for 50 m sensing disks.
+    pub sample_spacing_m: f64,
+}
+
+impl CcpConfig {
+    /// The evaluation settings of Section 6.1: 50 m sensing range, 1-coverage.
+    pub fn paper_default() -> Self {
+        CcpConfig {
+            sensing_range_m: 50.0,
+            coverage_degree: 1,
+            sample_spacing_m: 5.0,
+        }
+    }
+}
+
+impl Default for CcpConfig {
+    fn default() -> Self {
+        CcpConfig::paper_default()
+    }
+}
+
+/// Returns `true` when every sample point of `disk ∩ region` is within
+/// `sensing_range` of at least `k` of the given active positions.
+fn disk_covered(
+    disk: Circle,
+    region: Rect,
+    active: &SpatialGrid,
+    sensing_range: f64,
+    k: usize,
+    spacing: f64,
+) -> bool {
+    let bb = disk.bounding_box();
+    let min_x = bb.min_x.max(region.min_x);
+    let max_x = bb.max_x.min(region.max_x);
+    let min_y = bb.min_y.max(region.min_y);
+    let max_y = bb.max_y.min(region.max_y);
+    if min_x > max_x || min_y > max_y {
+        // The disk lies entirely outside the deployment region; nothing to cover.
+        return true;
+    }
+    // Anchor the sample lattice at the region origin so every coverage check
+    // in a deployment evaluates the same global set of points. This makes the
+    // greedy election's invariant exact on the lattice: if each removal keeps
+    // the removed node's lattice points covered, the whole region's lattice
+    // stays covered.
+    let align = |v: f64, origin: f64| origin + ((v - origin) / spacing).ceil() * spacing;
+    let start_x = align(min_x, region.min_x);
+    let start_y = align(min_y, region.min_y);
+    let mut y = start_y;
+    while y <= max_y {
+        let mut x = start_x;
+        while x <= max_x {
+            let p = Point::new(x, y);
+            if disk.contains(p) {
+                let covers = active.query_range(p, sensing_range).count();
+                if covers < k {
+                    return false;
+                }
+            }
+            x += spacing;
+        }
+        y += spacing;
+    }
+    true
+}
+
+/// Runs the CCP-style backbone election.
+///
+/// Nodes are considered in a random order (determined by `rng`, so the
+/// election is reproducible per seed). A node is demoted to duty-cycled
+/// operation when the sensing disks of the *other* currently-active nodes
+/// still provide `coverage_degree`-coverage of its own sensing disk within
+/// the deployment region; otherwise it stays in the backbone.
+///
+/// Returns one [`NodeRole`] per node, in node-id order.
+///
+/// # Panics
+///
+/// Panics if `config.sensing_range_m` or `config.sample_spacing_m` is not
+/// strictly positive.
+pub fn elect_backbone(
+    positions: &[Point],
+    region: Rect,
+    config: &CcpConfig,
+    rng: &mut SimRng,
+) -> Vec<NodeRole> {
+    assert!(config.sensing_range_m > 0.0, "sensing range must be positive");
+    assert!(config.sample_spacing_m > 0.0, "sample spacing must be positive");
+
+    let n = positions.len();
+    let mut roles = vec![NodeRole::Backbone; n];
+    if n == 0 {
+        return roles;
+    }
+
+    // Grid of currently-active nodes, updated as nodes are demoted.
+    let mut active = SpatialGrid::new(region, config.sensing_range_m)
+        .expect("positive sensing range yields a valid grid");
+    for (i, &p) in positions.iter().enumerate() {
+        active.insert(i, p);
+    }
+
+    let mut order: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut order);
+
+    for i in order {
+        let p = positions[i];
+        // Tentatively remove the node and test whether the rest still covers
+        // its sensing disk.
+        active.remove(i);
+        let disk = Circle::new(p, config.sensing_range_m);
+        if disk_covered(
+            disk,
+            region,
+            &active,
+            config.sensing_range_m,
+            config.coverage_degree,
+            config.sample_spacing_m,
+        ) {
+            roles[i] = NodeRole::DutyCycled;
+        } else {
+            active.insert(i, p);
+        }
+    }
+    roles
+}
+
+/// Convenience wrapper: runs the election and packages the result as a
+/// [`PowerPlan`] in which every duty-cycled node follows `schedule`.
+pub fn elect_power_plan(
+    positions: &[Point],
+    region: Rect,
+    config: &CcpConfig,
+    schedule: SleepSchedule,
+    rng: &mut SimRng,
+) -> PowerPlan {
+    let roles = elect_backbone(positions, region, config, rng);
+    PowerPlan::new(roles, schedule)
+}
+
+/// Verifies that the nodes currently marked [`NodeRole::Backbone`] provide
+/// `coverage_degree`-coverage of the whole deployment region.
+///
+/// Used by tests and by the simulation's self-checks; sampling resolution is
+/// taken from `config.sample_spacing_m`.
+pub fn backbone_covers_region(
+    positions: &[Point],
+    roles: &[NodeRole],
+    region: Rect,
+    config: &CcpConfig,
+) -> bool {
+    let mut active = match SpatialGrid::new(region, config.sensing_range_m) {
+        Ok(g) => g,
+        Err(_) => return false,
+    };
+    for (i, &p) in positions.iter().enumerate() {
+        if roles[i].is_backbone() {
+            active.insert(i, p);
+        }
+    }
+    let spacing = config.sample_spacing_m;
+    let mut y = region.min_y;
+    while y <= region.max_y {
+        let mut x = region.min_x;
+        while x <= region.max_x {
+            let p = Point::new(x, y);
+            // Only require coverage where the original deployment could
+            // provide it at all (the region corners of a random deployment may
+            // simply contain no node).
+            let possible = positions
+                .iter()
+                .any(|&q| q.distance_to(p) <= config.sensing_range_m);
+            if possible {
+                let covers = active.query_range(p, config.sensing_range_m).count();
+                if covers < config.coverage_degree {
+                    return false;
+                }
+            }
+            x += spacing;
+        }
+        y += spacing;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_deployment(n: usize, side: f64, seed: u64) -> Vec<Point> {
+        let mut rng = SimRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new(rng.gen_range_f64(0.0, side), rng.gen_range_f64(0.0, side)))
+            .collect()
+    }
+
+    #[test]
+    fn dense_deployment_demotes_many_nodes() {
+        let region = Rect::square(200.0);
+        let positions = random_deployment(150, 200.0, 1);
+        let mut rng = SimRng::seed_from_u64(2);
+        let roles = elect_backbone(&positions, region, &CcpConfig::paper_default(), &mut rng);
+        let backbone = roles.iter().filter(|r| r.is_backbone()).count();
+        assert!(backbone < positions.len(), "some nodes must sleep");
+        assert!(backbone > 0, "a backbone must remain");
+        // In a deployment this dense most nodes are redundant.
+        assert!(
+            backbone < positions.len() / 2,
+            "expected a small backbone, got {backbone}/{}",
+            positions.len()
+        );
+    }
+
+    #[test]
+    fn backbone_preserves_coverage() {
+        let region = Rect::square(300.0);
+        let cfg = CcpConfig::paper_default();
+        for seed in 0..3u64 {
+            let positions = random_deployment(200, 300.0, seed * 7 + 1);
+            let mut rng = SimRng::seed_from_u64(seed);
+            let roles = elect_backbone(&positions, region, &cfg, &mut rng);
+            assert!(
+                backbone_covers_region(&positions, &roles, region, &cfg),
+                "backbone must cover the region (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_deployment_keeps_everyone_active() {
+        // Nodes far apart: nobody is redundant.
+        let region = Rect::square(450.0);
+        let positions = vec![
+            Point::new(50.0, 50.0),
+            Point::new(250.0, 50.0),
+            Point::new(50.0, 250.0),
+            Point::new(250.0, 250.0),
+        ];
+        let mut rng = SimRng::seed_from_u64(3);
+        let roles = elect_backbone(&positions, region, &CcpConfig::paper_default(), &mut rng);
+        assert!(roles.iter().all(|r| r.is_backbone()));
+    }
+
+    #[test]
+    fn colocated_nodes_reduce_to_one_active() {
+        let region = Rect::square(100.0);
+        let positions = vec![Point::new(50.0, 50.0); 5];
+        let mut rng = SimRng::seed_from_u64(4);
+        let roles = elect_backbone(&positions, region, &CcpConfig::paper_default(), &mut rng);
+        let backbone = roles.iter().filter(|r| r.is_backbone()).count();
+        assert_eq!(backbone, 1);
+    }
+
+    #[test]
+    fn higher_coverage_degree_keeps_more_nodes() {
+        let region = Rect::square(200.0);
+        let positions = random_deployment(150, 200.0, 9);
+        let cfg1 = CcpConfig::paper_default();
+        let cfg2 = CcpConfig {
+            coverage_degree: 2,
+            ..cfg1
+        };
+        let roles1 = elect_backbone(&positions, region, &cfg1, &mut SimRng::seed_from_u64(5));
+        let roles2 = elect_backbone(&positions, region, &cfg2, &mut SimRng::seed_from_u64(5));
+        let b1 = roles1.iter().filter(|r| r.is_backbone()).count();
+        let b2 = roles2.iter().filter(|r| r.is_backbone()).count();
+        assert!(b2 >= b1, "2-coverage backbone ({b2}) must be at least as large as 1-coverage ({b1})");
+    }
+
+    #[test]
+    fn election_is_reproducible_per_seed() {
+        let region = Rect::square(200.0);
+        let positions = random_deployment(100, 200.0, 11);
+        let cfg = CcpConfig::paper_default();
+        let a = elect_backbone(&positions, region, &cfg, &mut SimRng::seed_from_u64(42));
+        let b = elect_backbone(&positions, region, &cfg, &mut SimRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_deployment_is_fine() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let roles = elect_backbone(&[], Rect::square(10.0), &CcpConfig::paper_default(), &mut rng);
+        assert!(roles.is_empty());
+    }
+}

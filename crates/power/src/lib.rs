@@ -1,0 +1,36 @@
+//! # wsn-power
+//!
+//! Power-management substrate for the MobiQuery reproduction.
+//!
+//! The paper assumes the sensor network runs a power-management protocol —
+//! CCP (Coverage Configuration Protocol), SPAN or GAF — that keeps a small
+//! **backbone** of always-active nodes providing connectivity (and, for CCP,
+//! sensing coverage), while every other node duty-cycles its radio. MobiQuery
+//! is evaluated on top of CCP + 802.11 PSM.
+//!
+//! This crate provides:
+//!
+//! * [`ccp`] — a CCP-style backbone election: a node may sleep only when its
+//!   sensing area is already covered by other active nodes. With the paper's
+//!   parameters (communication range ≥ 2 × sensing range) the resulting
+//!   backbone is also connected, which is CCP's central theorem.
+//! * [`span`] — a SPAN-style connectivity-only election, used by the ablation
+//!   benchmarks to show the query service is not tied to one power protocol.
+//! * [`energy`] — per-node radio energy accounting against a
+//!   [`wsn_net::RadioPowerProfile`], producing the per-sleeping-node power
+//!   numbers of the paper's Figure 8.
+//! * [`plan`] — the combined "power plan" (role + sleep schedule per node)
+//!   consumed by the protocol simulation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ccp;
+pub mod energy;
+pub mod plan;
+pub mod span;
+
+pub use ccp::{elect_backbone, CcpConfig};
+pub use energy::EnergyLedger;
+pub use plan::PowerPlan;
+pub use span::elect_backbone_span;

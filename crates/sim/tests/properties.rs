@@ -1,0 +1,94 @@
+//! Property-based tests for the discrete-event engine.
+
+use proptest::prelude::*;
+use wsn_sim::{Duration, Engine, EventQueue, SimRng, SimTime, World};
+
+/// A world that records the times of every event it sees.
+#[derive(Debug, Default)]
+struct Recorder {
+    times: Vec<SimTime>,
+    payloads: Vec<u32>,
+}
+
+impl World for Recorder {
+    type Event = u32;
+    fn handle(&mut self, now: SimTime, event: u32, _queue: &mut EventQueue<u32>) {
+        self.times.push(now);
+        self.payloads.push(event);
+    }
+}
+
+proptest! {
+    /// No matter the scheduling order, events are delivered in non-decreasing
+    /// time order and none are lost.
+    #[test]
+    fn events_delivered_in_order_and_none_lost(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut engine = Engine::new(Recorder::default());
+        for (i, &t) in times.iter().enumerate() {
+            engine.queue_mut().schedule_at(SimTime::from_micros(t), i as u32);
+        }
+        engine.run_to_completion();
+        let seen = &engine.world().times;
+        prop_assert_eq!(seen.len(), times.len());
+        for pair in seen.windows(2) {
+            prop_assert!(pair[0] <= pair[1]);
+        }
+        // Every payload delivered exactly once.
+        let mut payloads = engine.world().payloads.clone();
+        payloads.sort_unstable();
+        prop_assert_eq!(payloads, (0..times.len() as u32).collect::<Vec<_>>());
+    }
+
+    /// Events scheduled for the same instant are delivered FIFO.
+    #[test]
+    fn simultaneous_events_are_fifo(n in 1usize..100) {
+        let mut engine = Engine::new(Recorder::default());
+        let t = SimTime::from_secs(1);
+        for i in 0..n {
+            engine.queue_mut().schedule_at(t, i as u32);
+        }
+        engine.run_to_completion();
+        prop_assert_eq!(&engine.world().payloads, &(0..n as u32).collect::<Vec<_>>());
+    }
+
+    /// Running to a horizon never processes events scheduled after it, and a
+    /// later run picks them all up.
+    #[test]
+    fn horizon_split_processes_everything(
+        times in proptest::collection::vec(0u64..1_000_000, 1..100),
+        horizon in 0u64..1_000_000,
+    ) {
+        let mut engine = Engine::new(Recorder::default());
+        for (i, &t) in times.iter().enumerate() {
+            engine.queue_mut().schedule_at(SimTime::from_micros(t), i as u32);
+        }
+        engine.run_until(SimTime::from_micros(horizon));
+        let before = engine.world().times.len();
+        for &t in &engine.world().times {
+            prop_assert!(t <= SimTime::from_micros(horizon));
+        }
+        engine.run_to_completion();
+        prop_assert_eq!(engine.world().times.len(), times.len());
+        prop_assert!(engine.world().times.len() >= before);
+    }
+
+    /// The RNG produces identical streams for identical seeds and stays in range.
+    #[test]
+    fn rng_reproducible_and_in_range(seed in any::<u64>(), lo in -1000.0f64..0.0, span in 0.001f64..1000.0) {
+        let mut a = SimRng::seed_from_u64(seed);
+        let mut b = SimRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let x = a.gen_range_f64(lo, lo + span);
+            let y = b.gen_range_f64(lo, lo + span);
+            prop_assert_eq!(x, y);
+            prop_assert!(x >= lo && x < lo + span);
+        }
+    }
+
+    /// Durations converted through seconds round-trip within a microsecond.
+    #[test]
+    fn duration_roundtrip(secs in 0.0f64..100_000.0) {
+        let d = Duration::from_secs_f64(secs);
+        prop_assert!((d.as_secs_f64() - secs).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,39 @@
+//! Quickstart: run one MobiQuery simulation with the paper's default
+//! settings (scaled down so this example finishes in a second or two) and
+//! print the headline metrics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use mobiquery_repro::mobiquery::config::{Scenario, Scheme};
+use mobiquery_repro::mobiquery::sim::Simulation;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The evaluation scenario of Section 6.1, shrunk to 100 nodes / 120 s so
+    // the quickstart runs quickly. Drop the `with_*` calls for the full
+    // paper-scale run (200 nodes, 450 m field, 400 s).
+    let scenario = Scenario::paper_default()
+        .with_node_count(100)
+        .with_region_side(350.0)
+        .with_duration_secs(120.0)
+        .with_sleep_period_secs(9.0)
+        .with_scheme(Scheme::JustInTime)
+        .with_seed(2026);
+
+    let output = Simulation::new(scenario)?.run();
+
+    println!("MobiQuery quickstart (just-in-time prefetching)");
+    println!("  queries issued:          {}", output.query_log.len());
+    println!("  success ratio:           {:.1} %", output.success_ratio * 100.0);
+    println!("  mean data fidelity:      {:.1} %", output.mean_fidelity * 100.0);
+    println!("  backbone nodes (CCP):    {}/{}", output.backbone_count, output.node_count);
+    println!("  trees built:             {}", output.trees_built);
+    println!("  max trees ahead of user: {}", output.max_prefetch_length);
+    println!(
+        "  power per sleeping node: {:.3} W (CCP alone: {:.3} W)",
+        output.mean_sleeping_power_w, output.baseline_sleeping_power_w
+    );
+    println!("  channel loss rate:       {:.1} %", output.loss_rate() * 100.0);
+    Ok(())
+}

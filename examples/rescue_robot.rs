@@ -1,0 +1,45 @@
+//! Search-and-rescue robot scenario: the paper's second motivating
+//! application. A robot plans its own motion, so exact motion profiles are
+//! available *before* it moves (positive advance time); this example sweeps
+//! the advance time to show how early plans eliminate the warm-up interval
+//! (Section 5.3 / Figure 6) and compares against a robot whose plans arrive
+//! late.
+//!
+//! ```text
+//! cargo run --release --example rescue_robot
+//! ```
+
+use mobiquery_repro::mobiquery::analysis;
+use mobiquery_repro::mobiquery::config::{Scenario, Scheme};
+use mobiquery_repro::mobiquery::sim::Simulation;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Search-and-rescue robot: motion-planner profiles with varying advance time");
+    println!("(robot replans every 70 s; sleep period 9 s)\n");
+    println!("{:>12}  {:>13}  {:>22}", "Ta (s)", "success ratio", "Eq.16 warm-up bound (s)");
+
+    for advance in [-8.0, -3.0, 0.0, 6.0, 12.0] {
+        let scenario = Scenario::paper_default()
+            .with_node_count(150)
+            .with_region_side(400.0)
+            .with_duration_secs(210.0)
+            .with_sleep_period_secs(9.0)
+            .with_speed_range(3.0, 5.0)
+            .with_motion_change_interval(70.0)
+            .with_planner_advance(advance)
+            .with_scheme(Scheme::JustInTime)
+            .with_seed(11);
+        let bound = analysis::warmup_interval_approx_s(&scenario.analysis_params(), advance);
+        let out = Simulation::new(scenario)?.run();
+        println!(
+            "{advance:>12}  {:>12.1} %  {bound:>22.1}",
+            out.success_ratio * 100.0
+        );
+    }
+
+    println!("\nThe earlier the planner publishes its path (larger Ta), the shorter the");
+    println!("warm-up after each replanning and the higher the fraction of usable query");
+    println!("results — the robot can trust its surrounding terrain/survivor map again");
+    println!("within a bounded, predictable time after every turn.");
+    Ok(())
+}

@@ -1,0 +1,38 @@
+//! # mobiquery-repro
+//!
+//! Facade crate for the MobiQuery reproduction workspace. It re-exports every
+//! sub-crate under one roof so examples, integration tests and downstream
+//! users can depend on a single crate:
+//!
+//! * [`mobiquery`] — the protocol itself (query model, prefetching schemes,
+//!   Section 5 analysis, the full protocol simulation).
+//! * [`experiments`] — the per-figure experiment harness.
+//! * [`sim`] / [`net`] / [`power`] / [`mobility`] / [`geom`] / [`metrics`] —
+//!   the substrates (discrete-event engine, radio/MAC/PSM, CCP/energy,
+//!   motion/GPS/profiles, geometry, metrics).
+//!
+//! ```
+//! use mobiquery_repro::mobiquery::config::{Scenario, Scheme};
+//! use mobiquery_repro::mobiquery::sim::Simulation;
+//!
+//! let scenario = Scenario::paper_default()
+//!     .with_node_count(60)
+//!     .with_region_side(250.0)
+//!     .with_duration_secs(30.0)
+//!     .with_scheme(Scheme::JustInTime);
+//! let out = Simulation::new(scenario)?.run();
+//! assert!(out.query_log.len() > 0);
+//! # Ok::<(), mobiquery_repro::mobiquery::error::ConfigError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use mobiquery;
+pub use mobiquery_experiments as experiments;
+pub use wsn_geom as geom;
+pub use wsn_metrics as metrics;
+pub use wsn_mobility as mobility;
+pub use wsn_net as net;
+pub use wsn_power as power;
+pub use wsn_sim as sim;

@@ -1,0 +1,73 @@
+//! Integration tests cross-checking the Section 5 closed forms against the
+//! simulator and against the paper's own worked numbers.
+
+use mobiquery_repro::mobiquery::analysis::*;
+use mobiquery_repro::geom::mps_to_mph;
+
+#[test]
+fn paper_worked_examples_reproduce() {
+    // Section 5.2: vprfh ~ 469 mph, 4 vs ~58 trees, crossover ~ tens of seconds.
+    assert!((paper_prefetch_speed_mph() - 466.0).abs() < 10.0);
+    let storage = AnalysisParams::storage_example();
+    assert_eq!(prefetch_length_jit(&storage), 4);
+    assert!(prefetch_length_greedy(&storage) >= 58);
+    assert!(storage_crossover_lifetime_s(&storage) < storage.lifetime_s);
+
+    // Section 5.4: 35 interfering trees for greedy vs a handful for JIT,
+    // v* ~ 131 mph.
+    let contention = AnalysisParams::contention_example();
+    assert_eq!(interference_length_greedy(&contention), 35);
+    assert!(interference_length_jit(&contention) <= 4);
+    assert!((mps_to_mph(contention_speed_threshold_mps(&contention)) - 131.0).abs() < 2.0);
+}
+
+#[test]
+fn warmup_bound_is_monotone_in_advance_time_and_sleep_period() {
+    let base = AnalysisParams {
+        period_s: 2.0,
+        freshness_s: 1.0,
+        sleep_s: 9.0,
+        lifetime_s: 500.0,
+        user_speed_mps: 4.0,
+        prefetch_speed_mps: 200.0,
+        query_radius_m: 150.0,
+        comm_range_m: 105.0,
+    };
+    // More advance notice never lengthens the warm-up.
+    let mut last = f64::INFINITY;
+    for ta in [-10.0, -5.0, 0.0, 5.0, 10.0, 15.0] {
+        let w = warmup_interval_s(&base, ta);
+        assert!(w <= last + 1e-9);
+        last = w;
+    }
+    // Longer sleep periods need longer warm-ups.
+    let longer_sleep = AnalysisParams { sleep_s: 15.0, ..base };
+    assert!(warmup_interval_s(&longer_sleep, 0.0) >= warmup_interval_s(&base, 0.0));
+}
+
+#[test]
+fn jit_storage_is_insensitive_to_query_lifetime_but_greedy_is_not() {
+    let short = AnalysisParams {
+        lifetime_s: 100.0,
+        ..AnalysisParams::storage_example()
+    };
+    let long = AnalysisParams {
+        lifetime_s: 1_000.0,
+        ..AnalysisParams::storage_example()
+    };
+    assert_eq!(prefetch_length_jit(&short), prefetch_length_jit(&long));
+    assert!(prefetch_length_greedy(&long) > prefetch_length_greedy(&short));
+}
+
+#[test]
+fn contention_gap_closes_at_very_high_user_speeds() {
+    // Above v* the two schemes have the same interference length.
+    let mut p = AnalysisParams::contention_example();
+    p.user_speed_mps = contention_speed_threshold_mps(&p) * 1.5;
+    p.prefetch_speed_mps = p.user_speed_mps * 10.0;
+    assert_eq!(
+        interference_length_jit(&p),
+        interference_length_greedy(&p),
+        "above v* both schemes interfere equally"
+    );
+}
