@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Full CI gate for the MobiQuery reproduction workspace. Every check here is
+# required; run it locally before pushing. Takes a few minutes cold.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+run() {
+    echo "==> $*" >&2
+    "$@"
+}
+
+run cargo fmt --check
+run cargo clippy --workspace --all-targets -- -D warnings
+run env RUSTDOCFLAGS='-D warnings' cargo doc --no-deps --workspace
+
+# Tier-1 verify: release build + the facade's test suite (integration, doc).
+run cargo build --release
+run cargo test -q
+
+# Every other member's unit/property/doc tests (the facade just ran).
+run cargo test -q --workspace --exclude mobiquery-repro
+
+# The four examples and the CLI must stay runnable, not just compilable.
+for ex in quickstart firefighter rescue_robot duty_cycle_tuning; do
+    run cargo run --release -q --example "$ex" >/dev/null
+done
+run cargo run --release -q --bin repro -- --quick fig4 >/dev/null
+
+echo "==> CI green"

@@ -6,8 +6,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use wsn_geom::{Point, Rect};
-use wsn_net::{FloodTree, NeighborTable, NodeId, SleepSchedule};
 use wsn_net::routing::route_greedy;
+use wsn_net::{FloodTree, NeighborTable, NodeId, SleepSchedule};
 use wsn_power::ccp::{elect_backbone, CcpConfig};
 use wsn_sim::{Duration, EventQueue, SimRng, SimTime};
 

@@ -242,7 +242,11 @@ mod tests {
         let p = AnalysisParams::contention_example();
         // v* = (2*50 + 4*150)/(9+3) = 58.33 m/s ≈ 130.5 mph.
         let v_star = contention_speed_threshold_mps(&p);
-        assert!((mps_to_mph(v_star) - 131.0).abs() < 2.0, "v* = {} mph", mps_to_mph(v_star));
+        assert!(
+            (mps_to_mph(v_star) - 131.0).abs() < 2.0,
+            "v* = {} mph",
+            mps_to_mph(v_star)
+        );
         // Mjit = ceil((9+3)/5) = 3 … the paper rounds its prose to "about 4".
         let jit = interference_length_jit(&p);
         assert!((3..=4).contains(&jit), "Mjit = {jit}");
@@ -260,7 +264,10 @@ mod tests {
         let fast = overlapping_setups_greedy(&p);
         assert!(fast > slow);
         // JIT overlap does not depend on the prefetch speed.
-        assert_eq!(overlapping_setups_jit(&p), overlapping_setups_jit(&AnalysisParams::contention_example()));
+        assert_eq!(
+            overlapping_setups_jit(&p),
+            overlapping_setups_jit(&AnalysisParams::contention_example())
+        );
     }
 
     #[test]

@@ -227,7 +227,7 @@ impl Scenario {
         if !(self.region_side_m.is_finite() && self.region_side_m > 0.0) {
             return Err(ConfigError::new("the region side must be positive"));
         }
-        if !(self.sleep_period_s > 0.0) {
+        if !(self.sleep_period_s.is_finite() && self.sleep_period_s > 0.0) {
             return Err(ConfigError::new("the sleep period must be positive"));
         }
         if !(self.active_window_s > 0.0 && self.active_window_s <= self.sleep_period_s) {
@@ -235,13 +235,17 @@ impl Scenario {
                 "the active window must be positive and no longer than the sleep period",
             ));
         }
-        if !(self.pickup_radius_m > 0.0) {
-            return Err(ConfigError::new("the pickup (anycast) radius must be positive"));
+        if !(self.pickup_radius_m.is_finite() && self.pickup_radius_m > 0.0) {
+            return Err(ConfigError::new(
+                "the pickup (anycast) radius must be positive",
+            ));
         }
         if !(0.0..=1.0).contains(&self.fidelity_threshold) {
-            return Err(ConfigError::new("the fidelity threshold must lie in [0, 1]"));
+            return Err(ConfigError::new(
+                "the fidelity threshold must lie in [0, 1]",
+            ));
         }
-        if self.motion.duration <= 0.0 {
+        if !(self.motion.duration.is_finite() && self.motion.duration > 0.0) {
             return Err(ConfigError::new("the simulation duration must be positive"));
         }
         self.query.validate()?;
@@ -295,7 +299,10 @@ mod tests {
 
     #[test]
     fn invalid_scenarios_are_rejected() {
-        assert!(Scenario::paper_default().with_node_count(0).validate().is_err());
+        assert!(Scenario::paper_default()
+            .with_node_count(0)
+            .validate()
+            .is_err());
         let mut s = Scenario::paper_default();
         s.active_window_s = 20.0;
         assert!(s.validate().is_err());
@@ -310,7 +317,10 @@ mod tests {
     #[test]
     fn profile_source_builders() {
         let planner = Scenario::paper_default().with_planner_advance(-8.0);
-        assert_eq!(planner.profile_source, ProfileSource::Planner { advance_secs: -8.0 });
+        assert_eq!(
+            planner.profile_source,
+            ProfileSource::Planner { advance_secs: -8.0 }
+        );
         let predictor = Scenario::paper_default().with_predictor(8.0, 10.0);
         match predictor.profile_source {
             ProfileSource::Predictor {

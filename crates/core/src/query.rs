@@ -200,7 +200,10 @@ mod tests {
 
         let mut q = QuerySpec::paper_default();
         q.freshness = Duration::from_secs(5);
-        assert!(q.validate().is_err(), "freshness beyond the period must be rejected");
+        assert!(
+            q.validate().is_err(),
+            "freshness beyond the period must be rejected"
+        );
 
         let mut q = QuerySpec::paper_default();
         q.period = Duration::ZERO;

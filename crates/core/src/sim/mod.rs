@@ -134,14 +134,13 @@ impl Simulation {
 
     /// Read access to the world (useful in tests).
     pub fn world(&self) -> &SimWorld {
-        &self.engine.world()
+        self.engine.world()
     }
 
     /// Runs the simulation to the end of the query lifetime and produces the
     /// aggregated output.
     pub fn run(mut self) -> SimulationOutput {
-        let horizon =
-            SimTime::from_secs_f64(self.scenario.query.lifetime.as_secs_f64() + 1.0);
+        let horizon = SimTime::from_secs_f64(self.scenario.query.lifetime.as_secs_f64() + 1.0);
         self.engine.run_until(horizon);
         let events_processed = self.engine.events_processed();
         let world = self.engine.into_world();
@@ -166,7 +165,9 @@ impl Simulation {
             let activity = world.activity[node.index()];
             let tx = activity.tx_s.min(duration_s);
             let rx = activity.rx_s.min(duration_s);
-            let extra = activity.extra_awake_s.min(duration_s - base_idle.min(duration_s));
+            let extra = activity
+                .extra_awake_s
+                .min(duration_s - base_idle.min(duration_s));
             let idle = (base_idle + extra - tx - rx).max(0.0);
             let sleep = (duration_s - base_idle - extra).max(0.0);
             with_query.record(node, RadioState::Transmit, Duration::from_secs_f64(tx));

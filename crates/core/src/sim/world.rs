@@ -25,8 +25,8 @@ use std::collections::HashMap;
 use wsn_geom::{Circle, Point, SpatialGrid};
 use wsn_metrics::{QueryLog, QueryRecord};
 use wsn_mobility::{MotionProfile, UserMotion};
-use wsn_net::{Channel, FloodTree, NeighborTable, NodeId, SleepSchedule};
 use wsn_net::routing::{route_greedy, RouteError};
+use wsn_net::{Channel, FloodTree, NeighborTable, NodeId, SleepSchedule};
 use wsn_power::PowerPlan;
 use wsn_sim::{Duration, EventQueue, SimRng, SimTime, World};
 
@@ -75,6 +75,7 @@ impl SimWorld {
     /// Small processing gap between consecutive broadcast retries.
     const RETRY_GAP: Duration = Duration::from_millis(6);
 
+    #[allow(clippy::too_many_arguments)] // substrate handles assembled once, in Simulation::new
     pub(crate) fn new(
         scenario: Scenario,
         positions: Vec<Point>,
@@ -160,14 +161,12 @@ impl SimWorld {
 
     /// The backbone node closest to `p`, if any backbone exists.
     fn nearest_backbone(&self, p: Point) -> Option<NodeId> {
-        self.plan
-            .backbone_nodes()
-            .min_by(|&a, &b| {
-                self.position(a)
-                    .distance_sq_to(p)
-                    .partial_cmp(&self.position(b).distance_sq_to(p))
-                    .expect("distances are finite")
-            })
+        self.plan.backbone_nodes().min_by(|&a, &b| {
+            self.position(a)
+                .distance_sq_to(p)
+                .partial_cmp(&self.position(b).distance_sq_to(p))
+                .expect("distances are finite")
+        })
     }
 
     /// The pickup point for query `k` as predicted by the motion profiles
@@ -301,6 +300,7 @@ impl SimWorld {
         );
     }
 
+    #[allow(clippy::too_many_arguments)] // mirrors the fields of SimEvent::PrefetchHop
     fn handle_prefetch_hop(
         &mut self,
         now: SimTime,
@@ -394,7 +394,14 @@ impl SimWorld {
                 return;
             }
         }
-        self.install_query(now, generation, k, collector, self.predicted_pickup(k), queue);
+        self.install_query(
+            now,
+            generation,
+            k,
+            collector,
+            self.predicted_pickup(k),
+            queue,
+        );
     }
 
     /// Installs the query state for query `k` rooted at `collector` and starts
@@ -511,7 +518,10 @@ impl SimWorld {
             if self.rng.gen_bool(loss_p) {
                 any_missed = true;
             } else {
-                queue.schedule_at(now + outcome.delay, SimEvent::SetupArrive { k, node: child });
+                queue.schedule_at(
+                    now + outcome.delay,
+                    SimEvent::SetupArrive { k, node: child },
+                );
             }
         }
         if any_missed && attempt < self.scenario.max_retries {
@@ -596,7 +606,14 @@ impl SimWorld {
             let jitter = Duration::from_secs_f64(self.rng.gen_range_f64(0.0, window * 0.5));
             let at = window_start + jitter;
             self.offer_to_window(at);
-            queue.schedule_at(at, SimEvent::SleepingDeliver { k, node, attempt: 0 });
+            queue.schedule_at(
+                at,
+                SimEvent::SleepingDeliver {
+                    k,
+                    node,
+                    attempt: 0,
+                },
+            );
         }
     }
 
@@ -656,8 +673,9 @@ impl SimWorld {
                 .saturating_since(reading_time)
                 .as_secs_f64()
                 .max(0.0);
-            let jitter =
-                Duration::from_secs_f64(self.rng.gen_range_f64(0.0, (slack * 0.5).min(0.25).max(1e-4)));
+            let jitter = Duration::from_secs_f64(
+                self.rng.gen_range_f64(0.0, (slack * 0.5).clamp(1e-4, 0.25)),
+            );
             let state = self.queries.get_mut(&k).expect("state present");
             state.sleeping_ready.insert(node, arrival);
             let send_time = reading_time + jitter;
@@ -727,6 +745,7 @@ impl SimWorld {
     /// retransmission (802.11-style unicast ARQ): on loss the frame is
     /// retried after a short gap, up to the configured retry budget, as long
     /// as the query deadline has not passed.
+    #[allow(clippy::too_many_arguments)] // mirrors the fields of SimEvent::DataSend
     fn send_data(
         &mut self,
         now: SimTime,
@@ -773,7 +792,13 @@ impl SimWorld {
         // the paper attributes to greedy prefetching.
     }
 
-    fn handle_data_arrive(&mut self, now: SimTime, k: u64, node: NodeId, contributions: Vec<NodeId>) {
+    fn handle_data_arrive(
+        &mut self,
+        now: SimTime,
+        k: u64,
+        node: NodeId,
+        contributions: Vec<NodeId>,
+    ) {
         let deadline = self.deadline(k);
         let Some(state) = self.queries.get_mut(&k) else {
             return;
@@ -841,7 +866,8 @@ impl SimWorld {
         let deadline = self.deadline(k);
         let actual_user = self.motion.position_at(deadline);
         let area = Circle::new(actual_user, self.scenario.query.radius_m);
-        let nodes_in_area: Vec<NodeId> = self.all_nodes_grid.query_circle(area).map(NodeId).collect();
+        let nodes_in_area: Vec<NodeId> =
+            self.all_nodes_grid.query_circle(area).map(NodeId).collect();
 
         // Sample the prefetch length (trees standing for future queries).
         let ahead = self.queries.keys().filter(|&&j| j > k).count();
@@ -892,9 +918,11 @@ impl World for SimWorld {
     fn handle(&mut self, now: SimTime, event: SimEvent, queue: &mut EventQueue<SimEvent>) {
         match event {
             SimEvent::ProfileDelivered(index) => self.handle_profile_delivered(now, index, queue),
-            SimEvent::PrefetchForward { generation, k, from } => {
-                self.handle_prefetch_forward(now, generation, k, from, queue)
-            }
+            SimEvent::PrefetchForward {
+                generation,
+                k,
+                from,
+            } => self.handle_prefetch_forward(now, generation, k, from, queue),
             SimEvent::PrefetchHop {
                 generation,
                 k,

@@ -71,10 +71,7 @@ pub fn run(config: &ExperimentConfig) -> Table {
     let points = run_points(config);
     let mut columns = vec!["configuration".to_string()];
     columns.extend(sleeps.iter().map(|s| format!("sleep={s}s")));
-    let mut table = Table::new(
-        "Figure 8: power consumption per sleeping node (W)",
-        columns,
-    );
+    let mut table = Table::new("Figure 8: power consumption per sleeping node (W)", columns);
     let row = |f: &dyn Fn(&Fig8Point) -> f64| -> Vec<f64> {
         sleeps
             .iter()
@@ -99,7 +96,10 @@ mod tests {
 
     #[test]
     fn sweep_covers_requested_periods() {
-        assert_eq!(sleep_periods(&ExperimentConfig::full()), vec![3.0, 9.0, 15.0]);
+        assert_eq!(
+            sleep_periods(&ExperimentConfig::full()),
+            vec![3.0, 9.0, 15.0]
+        );
         assert_eq!(sleep_periods(&ExperimentConfig::quick()).len(), 2);
     }
 }

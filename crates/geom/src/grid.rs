@@ -132,11 +132,19 @@ impl SpatialGrid {
         radius: f64,
     ) -> impl Iterator<Item = (usize, Point)> + '_ {
         let r = radius.max(0.0);
-        let min_cx = (((center.x - r - self.region.min_x) / self.cell).floor().max(0.0)) as usize;
-        let max_cx = (((center.x + r - self.region.min_x) / self.cell).floor().max(0.0) as usize)
+        let min_cx = (((center.x - r - self.region.min_x) / self.cell)
+            .floor()
+            .max(0.0)) as usize;
+        let max_cx = (((center.x + r - self.region.min_x) / self.cell)
+            .floor()
+            .max(0.0) as usize)
             .min(self.cols - 1);
-        let min_cy = (((center.y - r - self.region.min_y) / self.cell).floor().max(0.0)) as usize;
-        let max_cy = (((center.y + r - self.region.min_y) / self.cell).floor().max(0.0) as usize)
+        let min_cy = (((center.y - r - self.region.min_y) / self.cell)
+            .floor()
+            .max(0.0)) as usize;
+        let max_cy = (((center.y + r - self.region.min_y) / self.cell)
+            .floor()
+            .max(0.0) as usize)
             .min(self.rows - 1);
         let min_cx = min_cx.min(self.cols - 1);
         let min_cy = min_cy.min(self.rows - 1);
@@ -220,7 +228,9 @@ mod tests {
         // does not need the rand crate at build time.
         let mut state: u64 = 0x1234_5678;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) * 450.0
         };
         let pts: Vec<(usize, Point)> = (0..300).map(|i| (i, Point::new(next(), next()))).collect();
@@ -244,7 +254,10 @@ mod tests {
         // Query centred far outside the region must not panic and still finds
         // nothing (or the clamped cell's contents filtered by distance).
         assert_eq!(g.query_range(Point::new(-1000.0, -1000.0), 10.0).count(), 0);
-        assert_eq!(g.query_range(Point::new(10_000.0, 10_000.0), 10.0).count(), 0);
+        assert_eq!(
+            g.query_range(Point::new(10_000.0, 10_000.0), 10.0).count(),
+            0
+        );
     }
 
     #[test]

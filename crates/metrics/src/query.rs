@@ -157,7 +157,12 @@ mod tests {
     use super::*;
     use crate::PAPER_FIDELITY_THRESHOLD;
 
-    fn record(seq: u64, delivered_offset_ms: Option<i64>, contributing: usize, total: usize) -> QueryRecord {
+    fn record(
+        seq: u64,
+        delivered_offset_ms: Option<i64>,
+        contributing: usize,
+        total: usize,
+    ) -> QueryRecord {
         let deadline = SimTime::from_secs(2 * seq);
         QueryRecord {
             seq,
@@ -205,7 +210,10 @@ mod tests {
     fn latency_measured_from_period_start() {
         let r = record(3, Some(-500), 10, 10);
         // Period 2 s: deadline 6 s, delivered at 5.5 s, period started at 4 s.
-        assert_eq!(r.latency(Duration::from_secs(2)), Some(Duration::from_millis(1500)));
+        assert_eq!(
+            r.latency(Duration::from_secs(2)),
+            Some(Duration::from_millis(1500))
+        );
         assert_eq!(record(3, None, 0, 10).latency(Duration::from_secs(2)), None);
     }
 

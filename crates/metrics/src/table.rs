@@ -101,7 +101,13 @@ impl fmt::Display for Table {
         let fmt_row = |row: &[String]| -> String {
             row.iter()
                 .enumerate()
-                .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+                .map(|(i, c)| {
+                    format!(
+                        "{:>width$}",
+                        c,
+                        width = widths.get(i).copied().unwrap_or(c.len())
+                    )
+                })
                 .collect::<Vec<_>>()
                 .join("  ")
         };

@@ -26,7 +26,8 @@ impl MotionLeg {
 
     /// The position at the end of the leg.
     pub fn end(&self) -> Point {
-        self.start.advance(self.velocity, self.duration.as_secs_f64())
+        self.start
+            .advance(self.velocity, self.duration.as_secs_f64())
     }
 
     /// Position at absolute time `t`, extrapolating outside the leg.
@@ -79,7 +80,12 @@ impl MotionPath {
     }
 
     /// A single straight leg.
-    pub fn single_leg(start_time: SimTime, duration: Duration, start: Point, velocity: Vector) -> Self {
+    pub fn single_leg(
+        start_time: SimTime,
+        duration: Duration,
+        start: Point,
+        velocity: Vector,
+    ) -> Self {
         MotionPath {
             legs: vec![MotionLeg {
                 start_time,
@@ -102,12 +108,18 @@ impl MotionPath {
 
     /// When the path starts (time of the first leg); `SimTime::ZERO` when empty.
     pub fn start_time(&self) -> SimTime {
-        self.legs.first().map(|l| l.start_time).unwrap_or(SimTime::ZERO)
+        self.legs
+            .first()
+            .map(|l| l.start_time)
+            .unwrap_or(SimTime::ZERO)
     }
 
     /// When the last leg ends; `SimTime::ZERO` when empty.
     pub fn end_time(&self) -> SimTime {
-        self.legs.last().map(|l| l.end_time()).unwrap_or(SimTime::ZERO)
+        self.legs
+            .last()
+            .map(|l| l.end_time())
+            .unwrap_or(SimTime::ZERO)
     }
 
     /// Position at time `t` (clamped to the start before the path begins,
@@ -233,7 +245,10 @@ mod tests {
         let p = two_leg_path();
         assert_eq!(p.position_at(SimTime::from_secs(5)), Point::new(10.0, 0.0));
         assert_eq!(p.position_at(SimTime::from_secs(10)), Point::new(20.0, 0.0));
-        assert_eq!(p.position_at(SimTime::from_secs(20)), Point::new(20.0, 10.0));
+        assert_eq!(
+            p.position_at(SimTime::from_secs(20)),
+            Point::new(20.0, 10.0)
+        );
     }
 
     #[test]
@@ -241,7 +256,10 @@ mod tests {
         let p = two_leg_path();
         assert_eq!(p.position_at(SimTime::ZERO), Point::new(0.0, 0.0));
         // After the end (30 s) dead-reckon along the last leg.
-        assert_eq!(p.position_at(SimTime::from_secs(40)), Point::new(20.0, 30.0));
+        assert_eq!(
+            p.position_at(SimTime::from_secs(40)),
+            Point::new(20.0, 30.0)
+        );
     }
 
     #[test]
@@ -290,7 +308,10 @@ mod tests {
         let s = p.slice(SimTime::from_secs(5), SimTime::from_secs(15));
         assert_eq!(s.start_time(), SimTime::from_secs(5));
         assert_eq!(s.end_time(), SimTime::from_secs(15));
-        assert_eq!(s.position_at(SimTime::from_secs(5)), p.position_at(SimTime::from_secs(5)));
+        assert_eq!(
+            s.position_at(SimTime::from_secs(5)),
+            p.position_at(SimTime::from_secs(5))
+        );
         assert_eq!(
             s.position_at(SimTime::from_secs(15)),
             p.position_at(SimTime::from_secs(15))
@@ -302,7 +323,10 @@ mod tests {
     fn slice_outside_path_is_stationary() {
         let p = two_leg_path();
         let s = p.slice(SimTime::from_secs(100), SimTime::from_secs(100));
-        assert_eq!(s.position_at(SimTime::from_secs(100)), p.position_at(SimTime::from_secs(100)));
+        assert_eq!(
+            s.position_at(SimTime::from_secs(100)),
+            p.position_at(SimTime::from_secs(100))
+        );
     }
 
     #[test]
@@ -315,6 +339,9 @@ mod tests {
             velocity: Vector::new(-1.0, 0.0),
         });
         assert_eq!(p.end_time(), SimTime::from_secs(40));
-        assert_eq!(p.position_at(SimTime::from_secs(40)), Point::new(10.0, 20.0));
+        assert_eq!(
+            p.position_at(SimTime::from_secs(40)),
+            Point::new(10.0, 20.0)
+        );
     }
 }

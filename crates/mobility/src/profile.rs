@@ -135,11 +135,23 @@ mod tests {
     #[test]
     fn prediction_moves_along_the_line() {
         let p = profile(0.0);
-        assert_eq!(p.predicted_position(SimTime::from_secs(100)), Point::new(10.0, 10.0));
-        assert_eq!(p.predicted_position(SimTime::from_secs(110)), Point::new(50.0, 10.0));
+        assert_eq!(
+            p.predicted_position(SimTime::from_secs(100)),
+            Point::new(10.0, 10.0)
+        );
+        assert_eq!(
+            p.predicted_position(SimTime::from_secs(110)),
+            Point::new(50.0, 10.0)
+        );
         // Dead-reckons past the validity interval.
-        assert_eq!(p.predicted_position(SimTime::from_secs(160)), Point::new(250.0, 10.0));
-        assert_eq!(p.predicted_velocity(SimTime::from_secs(120)), Vector::new(4.0, 0.0));
+        assert_eq!(
+            p.predicted_position(SimTime::from_secs(160)),
+            Point::new(250.0, 10.0)
+        );
+        assert_eq!(
+            p.predicted_velocity(SimTime::from_secs(120)),
+            Vector::new(4.0, 0.0)
+        );
     }
 
     #[test]

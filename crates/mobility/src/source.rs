@@ -80,13 +80,14 @@ pub fn planner_profiles(motion: &UserMotion, advance_secs: f64) -> Vec<MotionPro
             .map(|next| next.time)
             .unwrap_or_else(|| motion.end_time());
         let validity = until.saturating_since(event.time);
-        let generated =
-            SimTime::from_secs_f64(event.time.as_secs_f64() - advance_secs);
+        let generated = SimTime::from_secs_f64(event.time.as_secs_f64() - advance_secs);
         profiles.push(MotionProfile::new(
             generated,
             event.time,
             validity,
-            motion.path().slice(event.time, until.max(event.time + Duration::from_micros(1))),
+            motion
+                .path()
+                .slice(event.time, until.max(event.time + Duration::from_micros(1))),
         ));
     }
     profiles
@@ -214,7 +215,8 @@ mod tests {
                 .unwrap_or_else(|| m.end_time());
             let leg_secs = until.as_secs_f64() - events[i].time.as_secs_f64();
             if leg_secs > 9.0 {
-                let t = SimTime::from_secs_f64(events[i].time.as_secs_f64() + leg_secs.min(20.0) - 0.5);
+                let t =
+                    SimTime::from_secs_f64(events[i].time.as_secs_f64() + leg_secs.min(20.0) - 0.5);
                 assert!(
                     p.predicted_position(t).distance_to(m.position_at(t)) < 1e-3,
                     "profile {i} should match truth"
@@ -250,7 +252,9 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(11);
         assert_eq!(ProfileSource::Oracle.profiles(&m, &mut rng).len(), 1);
         assert_eq!(
-            ProfileSource::Planner { advance_secs: 6.0 }.profiles(&m, &mut rng).len(),
+            ProfileSource::Planner { advance_secs: 6.0 }
+                .profiles(&m, &mut rng)
+                .len(),
             m.events().len()
         );
         assert_eq!(

@@ -105,7 +105,10 @@ impl UserMotion {
             config.speed_min,
             config.speed_max
         );
-        assert!(config.change_interval > 0.0, "change interval must be positive");
+        assert!(
+            config.change_interval > 0.0,
+            "change interval must be positive"
+        );
         assert!(config.duration > 0.0, "duration must be positive");
         assert!(
             config.region.contains(config.start),
@@ -146,7 +149,7 @@ impl UserMotion {
                 position = position.advance(velocity, leg_duration.as_secs_f64());
                 // Numerical safety: keep strictly inside the region.
                 position = config.region.clamp(position);
-                now = now + leg_duration;
+                now += leg_duration;
                 if let Some(v) = reflected_velocity {
                     velocity = v;
                     if now < segment_end {
@@ -303,12 +306,12 @@ mod tests {
         for leg in m.path().legs() {
             let speed = leg.velocity.length();
             assert!(
-                speed >= 6.0 - 1e-9 && speed <= 10.0 + 1e-9,
+                (6.0 - 1e-9..=10.0 + 1e-9).contains(&speed),
                 "leg speed {speed} outside range"
             );
         }
         let mean = m.mean_speed();
-        assert!(mean >= 6.0 - 1e-6 && mean <= 10.0 + 1e-6);
+        assert!((6.0 - 1e-6..=10.0 + 1e-6).contains(&mean));
     }
 
     #[test]
@@ -335,7 +338,11 @@ mod tests {
             let p = m.position_at(e.time);
             // Event positions may differ from the path by the boundary clamp
             // (sub-millimetre); anything larger indicates a real bug.
-            assert!(p.distance_to(e.position) < 1e-3, "event/path mismatch: {p} vs {}", e.position);
+            assert!(
+                p.distance_to(e.position) < 1e-3,
+                "event/path mismatch: {p} vs {}",
+                e.position
+            );
         }
     }
 
@@ -345,7 +352,10 @@ mod tests {
         let b = generate(9, MotionConfig::paper_default());
         assert_eq!(a, b);
         let c = generate(10, MotionConfig::paper_default());
-        assert_ne!(a.position_at(SimTime::from_secs(100)), c.position_at(SimTime::from_secs(100)));
+        assert_ne!(
+            a.position_at(SimTime::from_secs(100)),
+            c.position_at(SimTime::from_secs(100))
+        );
     }
 
     #[test]

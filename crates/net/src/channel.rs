@@ -167,7 +167,13 @@ mod tests {
     fn transmission_has_positive_delay() {
         let mut c = channel();
         let mut rng = SimRng::seed_from_u64(3);
-        let hop = c.transmit(NodeId(1), Point::new(10.0, 10.0), 60, SimTime::ZERO, &mut rng);
+        let hop = c.transmit(
+            NodeId(1),
+            Point::new(10.0, 10.0),
+            60,
+            SimTime::ZERO,
+            &mut rng,
+        );
         assert!(hop.delay > Duration::ZERO);
         assert_eq!(hop.contenders, 0);
         assert_eq!(c.frames_sent(), 1);
@@ -179,13 +185,23 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(4);
         let now = SimTime::ZERO;
         for i in 0..5 {
-            c.transmit(NodeId(i), Point::new(5.0 * i as f64, 0.0), 200, now, &mut rng);
+            c.transmit(
+                NodeId(i),
+                Point::new(5.0 * i as f64, 0.0),
+                200,
+                now,
+                &mut rng,
+            );
         }
         // A sixth transmission in the same neighbourhood sees at least some of
         // the others still occupying the channel (CSMA backoff spreads them
         // out, so the exact count depends on the sampled backoffs).
         let hop = c.transmit(NodeId(9), Point::new(10.0, 0.0), 200, now, &mut rng);
-        assert!(hop.contenders >= 2, "expected contention, got {}", hop.contenders);
+        assert!(
+            hop.contenders >= 2,
+            "expected contention, got {}",
+            hop.contenders
+        );
     }
 
     #[test]

@@ -152,7 +152,7 @@ mod tests {
         let tree = FloodTree::build(NodeId(0), &table, |n| n != NodeId(3));
         assert_eq!(tree.len(), 3);
         assert!(!tree.contains(NodeId(4)));
-        assert!(tree.is_empty() == false);
+        assert!(!tree.is_empty());
     }
 
     #[test]
@@ -189,7 +189,10 @@ mod tests {
             tree.path_to_root(NodeId(0)),
             Some(vec![NodeId(0), NodeId(1), NodeId(2)])
         );
-        assert_eq!(tree.path_to_root(NodeId(4)).unwrap().last(), Some(&NodeId(2)));
+        assert_eq!(
+            tree.path_to_root(NodeId(4)).unwrap().last(),
+            Some(&NodeId(2))
+        );
         // Every non-root node's parent is one hop shallower.
         for &n in &tree.order {
             if let Some(p) = tree.parent_of(n) {

@@ -73,7 +73,8 @@ impl MacConfig {
     pub fn sample_hop_delay(&self, contenders: usize, rng: &mut SimRng) -> Duration {
         let backoff = self.backoff(contenders);
         // Uniform jitter in [0, backoff] models the random slot choice.
-        let jitter = Duration::from_secs_f64(rng.gen_range_f64(0.0, backoff.as_secs_f64().max(1e-9)));
+        let jitter =
+            Duration::from_secs_f64(rng.gen_range_f64(0.0, backoff.as_secs_f64().max(1e-9)));
         self.per_hop_processing + backoff + jitter
     }
 

@@ -109,7 +109,9 @@ mod tests {
     use super::*;
 
     fn line_positions(n: usize, spacing: f64) -> Vec<Point> {
-        (0..n).map(|i| Point::new(i as f64 * spacing, 0.0)).collect()
+        (0..n)
+            .map(|i| Point::new(i as f64 * spacing, 0.0))
+            .collect()
     }
 
     #[test]

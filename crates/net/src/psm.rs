@@ -208,7 +208,10 @@ mod tests {
     fn next_wake_is_next_cycle_start() {
         let s = paper_15s();
         assert_eq!(s.next_wake(SimTime::from_secs(5)), SimTime::from_secs(15));
-        assert_eq!(s.next_wake(SimTime::from_millis(100)), SimTime::from_secs(15));
+        assert_eq!(
+            s.next_wake(SimTime::from_millis(100)),
+            SimTime::from_secs(15)
+        );
         assert_eq!(s.next_wake(SimTime::from_secs(15)), SimTime::from_secs(15));
         assert_eq!(
             s.next_wake(SimTime::from_millis(15_001)),

@@ -68,7 +68,10 @@ impl RoutePath {
     ///
     /// Never panics: a route always contains at least the source.
     pub fn destination(&self) -> NodeId {
-        *self.hops.last().expect("routes contain at least the source")
+        *self
+            .hops
+            .last()
+            .expect("routes contain at least the source")
     }
 }
 

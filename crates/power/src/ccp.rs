@@ -116,8 +116,14 @@ pub fn elect_backbone(
     config: &CcpConfig,
     rng: &mut SimRng,
 ) -> Vec<NodeRole> {
-    assert!(config.sensing_range_m > 0.0, "sensing range must be positive");
-    assert!(config.sample_spacing_m > 0.0, "sample spacing must be positive");
+    assert!(
+        config.sensing_range_m > 0.0,
+        "sensing range must be positive"
+    );
+    assert!(
+        config.sample_spacing_m > 0.0,
+        "sample spacing must be positive"
+    );
 
     let n = positions.len();
     let mut roles = vec![NodeRole::Backbone; n];
@@ -296,7 +302,10 @@ mod tests {
         let roles2 = elect_backbone(&positions, region, &cfg2, &mut SimRng::seed_from_u64(5));
         let b1 = roles1.iter().filter(|r| r.is_backbone()).count();
         let b2 = roles2.iter().filter(|r| r.is_backbone()).count();
-        assert!(b2 >= b1, "2-coverage backbone ({b2}) must be at least as large as 1-coverage ({b1})");
+        assert!(
+            b2 >= b1,
+            "2-coverage backbone ({b2}) must be at least as large as 1-coverage ({b1})"
+        );
     }
 
     #[test]
@@ -312,7 +321,12 @@ mod tests {
     #[test]
     fn empty_deployment_is_fine() {
         let mut rng = SimRng::seed_from_u64(1);
-        let roles = elect_backbone(&[], Rect::square(10.0), &CcpConfig::paper_default(), &mut rng);
+        let roles = elect_backbone(
+            &[],
+            Rect::square(10.0),
+            &CcpConfig::paper_default(),
+            &mut rng,
+        );
         assert!(roles.is_empty());
     }
 }

@@ -219,7 +219,10 @@ mod tests {
         let p3 = power_for_period(3.0);
         let p9 = power_for_period(9.0);
         let p15 = power_for_period(15.0);
-        assert!(p3 > p9 && p9 > p15, "power must fall with sleep period: {p3} {p9} {p15}");
+        assert!(
+            p3 > p9 && p9 > p15,
+            "power must fall with sleep period: {p3} {p9} {p15}"
+        );
         // All should sit between the sleep floor and idle ceiling.
         for p in [p3, p9, p15] {
             assert!(p > 0.130 && p < 0.830);

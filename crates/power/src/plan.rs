@@ -115,8 +115,14 @@ mod tests {
         assert!(p.is_backbone(NodeId(0)));
         assert!(!p.is_backbone(NodeId(1)));
         assert_eq!(p.backbone_count(), 2);
-        assert_eq!(p.backbone_nodes().collect::<Vec<_>>(), vec![NodeId(0), NodeId(3)]);
-        assert_eq!(p.sleeping_nodes().collect::<Vec<_>>(), vec![NodeId(1), NodeId(2)]);
+        assert_eq!(
+            p.backbone_nodes().collect::<Vec<_>>(),
+            vec![NodeId(0), NodeId(3)]
+        );
+        assert_eq!(
+            p.sleeping_nodes().collect::<Vec<_>>(),
+            vec![NodeId(1), NodeId(2)]
+        );
     }
 
     #[test]
@@ -124,7 +130,10 @@ mod tests {
         let p = plan();
         for secs in [0u64, 1, 7, 14, 200] {
             assert!(p.is_awake(NodeId(0), SimTime::from_secs(secs)));
-            assert_eq!(p.delivery_delay(NodeId(3), SimTime::from_secs(secs)), Duration::ZERO);
+            assert_eq!(
+                p.delivery_delay(NodeId(3), SimTime::from_secs(secs)),
+                Duration::ZERO
+            );
         }
     }
 

@@ -53,9 +53,7 @@ fn neighbor_pairs_connected_without(
                 continue;
             }
             let bridged = neighbors.neighbors_of(a).iter().any(|&c| {
-                c != node
-                    && roles[c.index()].is_backbone()
-                    && neighbors.are_neighbors(c, b)
+                c != node && roles[c.index()].is_backbone() && neighbors.are_neighbors(c, b)
             });
             if !bridged {
                 return false;
@@ -167,9 +165,9 @@ mod tests {
         let table = NeighborTable::build(&positions, Rect::square(450.0), 105.0);
         let mut rng = SimRng::seed_from_u64(6);
         let roles = elect_backbone_span(&positions, &table, &mut rng);
-        for i in 1..4 {
+        for (i, role) in roles.iter().enumerate().take(4).skip(1) {
             assert!(
-                roles[i].is_backbone(),
+                role.is_backbone(),
                 "interior node {i} of a line must remain a coordinator"
             );
         }

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`.
+//!
+//! crates.io is unreachable from this build environment, so the workspace
+//! vendors the tiny slice of serde's API the source tree actually touches:
+//! the `Serialize` / `Deserialize` trait names and their derive macros. The
+//! derives expand to nothing and the traits carry no methods — nothing in the
+//! repository serializes yet; the annotations exist so the data model is
+//! ready for a real wire format the moment the genuine crate is swapped back
+//! in via `[workspace.dependencies]`.
+
+/// Marker trait mirroring `serde::Serialize`.
+///
+/// The vendored derive emits no impl; the trait exists so code written
+/// against real serde (trait bounds, fully-qualified paths) keeps compiling.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace vendors a minimal API-compatible subset of the external
+//! crates it names (see `crates/shims/`). This proc-macro crate accepts the
+//! `#[derive(Serialize, Deserialize)]` attributes used throughout the source
+//! tree and expands to nothing: the types stay annotated exactly as they
+//! would be against real serde, and swapping the real crates back in is a
+//! one-line change in the workspace manifest.
+
+use proc_macro::TokenStream;
+
+/// No-op replacement for serde's `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op replacement for serde's `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -176,8 +176,12 @@ mod tests {
     #[test]
     fn processes_events_in_order() {
         let mut engine = Engine::new(Recorder::default());
-        engine.queue_mut().schedule_at(SimTime::from_secs(2), Ev::Mark(2));
-        engine.queue_mut().schedule_at(SimTime::from_secs(1), Ev::Mark(1));
+        engine
+            .queue_mut()
+            .schedule_at(SimTime::from_secs(2), Ev::Mark(2));
+        engine
+            .queue_mut()
+            .schedule_at(SimTime::from_secs(1), Ev::Mark(1));
         let outcome = engine.run_to_completion();
         assert_eq!(outcome, RunOutcome::QueueExhausted);
         assert_eq!(
@@ -189,8 +193,12 @@ mod tests {
     #[test]
     fn horizon_stops_before_later_events() {
         let mut engine = Engine::new(Recorder::default());
-        engine.queue_mut().schedule_at(SimTime::from_secs(1), Ev::Mark(1));
-        engine.queue_mut().schedule_at(SimTime::from_secs(5), Ev::Mark(5));
+        engine
+            .queue_mut()
+            .schedule_at(SimTime::from_secs(1), Ev::Mark(1));
+        engine
+            .queue_mut()
+            .schedule_at(SimTime::from_secs(5), Ev::Mark(5));
         let outcome = engine.run_until(SimTime::from_secs(3));
         assert_eq!(outcome, RunOutcome::HorizonReached);
         assert_eq!(engine.world().seen.len(), 1);
@@ -214,7 +222,9 @@ mod tests {
     #[test]
     fn event_budget_is_a_safety_valve() {
         let mut engine = Engine::new(Recorder::default()).with_event_budget(3);
-        engine.queue_mut().schedule_at(SimTime::ZERO, Ev::Chain(100));
+        engine
+            .queue_mut()
+            .schedule_at(SimTime::ZERO, Ev::Chain(100));
         let outcome = engine.run_to_completion();
         assert_eq!(outcome, RunOutcome::EventBudgetExhausted);
         assert_eq!(engine.events_processed(), 3);

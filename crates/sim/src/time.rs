@@ -278,7 +278,10 @@ mod tests {
         assert_eq!(a.saturating_since(b), Duration::ZERO);
         assert_eq!(b.saturating_since(a), Duration::from_secs(4));
         assert_eq!(a.saturating_sub(Duration::from_secs(10)), SimTime::ZERO);
-        assert_eq!(SimTime::MAX.saturating_add(Duration::from_secs(1)), SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(Duration::from_secs(1)),
+            SimTime::MAX
+        );
         assert_eq!(
             Duration::from_secs(1).saturating_sub(Duration::from_secs(2)),
             Duration::ZERO
@@ -288,7 +291,10 @@ mod tests {
     #[test]
     fn duration_multiplication() {
         assert_eq!(Duration::from_secs(2) * 3, Duration::from_secs(6));
-        assert_eq!(Duration::from_secs(2).saturating_mul(u64::MAX), Duration::MAX);
+        assert_eq!(
+            Duration::from_secs(2).saturating_mul(u64::MAX),
+            Duration::MAX
+        );
     }
 
     #[test]

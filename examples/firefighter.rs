@@ -35,8 +35,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for scheme in [Scheme::JustInTime, Scheme::None] {
         let out = Simulation::new(scenario(scheme))?.run();
         println!("{}:", scheme.label());
-        println!("  success ratio (fidelity >= 95 %): {:.1} %", out.success_ratio * 100.0);
-        println!("  mean fidelity:                    {:.1} %", out.mean_fidelity * 100.0);
+        println!(
+            "  success ratio (fidelity >= 95 %): {:.1} %",
+            out.success_ratio * 100.0
+        );
+        println!(
+            "  mean fidelity:                    {:.1} %",
+            out.mean_fidelity * 100.0
+        );
         println!(
             "  power per sleeping node:          {:.3} W (+{:.3} W over CCP)",
             out.mean_sleeping_power_w,

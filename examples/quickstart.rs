@@ -25,15 +25,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("MobiQuery quickstart (just-in-time prefetching)");
     println!("  queries issued:          {}", output.query_log.len());
-    println!("  success ratio:           {:.1} %", output.success_ratio * 100.0);
-    println!("  mean data fidelity:      {:.1} %", output.mean_fidelity * 100.0);
-    println!("  backbone nodes (CCP):    {}/{}", output.backbone_count, output.node_count);
+    println!(
+        "  success ratio:           {:.1} %",
+        output.success_ratio * 100.0
+    );
+    println!(
+        "  mean data fidelity:      {:.1} %",
+        output.mean_fidelity * 100.0
+    );
+    println!(
+        "  backbone nodes (CCP):    {}/{}",
+        output.backbone_count, output.node_count
+    );
     println!("  trees built:             {}", output.trees_built);
     println!("  max trees ahead of user: {}", output.max_prefetch_length);
     println!(
         "  power per sleeping node: {:.3} W (CCP alone: {:.3} W)",
         output.mean_sleeping_power_w, output.baseline_sleeping_power_w
     );
-    println!("  channel loss rate:       {:.1} %", output.loss_rate() * 100.0);
+    println!(
+        "  channel loss rate:       {:.1} %",
+        output.loss_rate() * 100.0
+    );
     Ok(())
 }

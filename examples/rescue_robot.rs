@@ -16,7 +16,10 @@ use mobiquery_repro::mobiquery::sim::Simulation;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Search-and-rescue robot: motion-planner profiles with varying advance time");
     println!("(robot replans every 70 s; sleep period 9 s)\n");
-    println!("{:>12}  {:>13}  {:>22}", "Ta (s)", "success ratio", "Eq.16 warm-up bound (s)");
+    println!(
+        "{:>12}  {:>13}  {:>22}",
+        "Ta (s)", "success ratio", "Eq.16 warm-up bound (s)"
+    );
 
     for advance in [-8.0, -3.0, 0.0, 6.0, 12.0] {
         let scenario = Scenario::paper_default()

@@ -1,8 +1,8 @@
 //! Integration tests cross-checking the Section 5 closed forms against the
 //! simulator and against the paper's own worked numbers.
 
-use mobiquery_repro::mobiquery::analysis::*;
 use mobiquery_repro::geom::mps_to_mph;
+use mobiquery_repro::mobiquery::analysis::*;
 
 #[test]
 fn paper_worked_examples_reproduce() {
@@ -41,7 +41,10 @@ fn warmup_bound_is_monotone_in_advance_time_and_sleep_period() {
         last = w;
     }
     // Longer sleep periods need longer warm-ups.
-    let longer_sleep = AnalysisParams { sleep_s: 15.0, ..base };
+    let longer_sleep = AnalysisParams {
+        sleep_s: 15.0,
+        ..base
+    };
     assert!(warmup_interval_s(&longer_sleep, 0.0) >= warmup_interval_s(&base, 0.0));
 }
 

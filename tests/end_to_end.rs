@@ -2,10 +2,10 @@
 //! protocol simulation on moderately sized scenarios and assert the paper's
 //! qualitative results.
 
+use mobiquery_repro::mobility::ProfileSource;
 use mobiquery_repro::mobiquery::analysis;
 use mobiquery_repro::mobiquery::config::{Scenario, Scheme};
 use mobiquery_repro::mobiquery::sim::Simulation;
-use mobiquery_repro::mobility::ProfileSource;
 
 /// A mid-sized scenario: large enough for the qualitative effects to show,
 /// small enough to keep the test suite quick in debug builds.
@@ -34,9 +34,15 @@ fn every_scheme_scores_every_period() {
 #[test]
 fn paper_ordering_jit_beats_greedy_beats_np() {
     // The headline comparison of Figure 4 at a long sleep period.
-    let jit = Simulation::new(scenario(Scheme::JustInTime, 15.0, 3)).unwrap().run();
-    let gp = Simulation::new(scenario(Scheme::Greedy, 15.0, 3)).unwrap().run();
-    let np = Simulation::new(scenario(Scheme::None, 15.0, 3)).unwrap().run();
+    let jit = Simulation::new(scenario(Scheme::JustInTime, 15.0, 3))
+        .unwrap()
+        .run();
+    let gp = Simulation::new(scenario(Scheme::Greedy, 15.0, 3))
+        .unwrap()
+        .run();
+    let np = Simulation::new(scenario(Scheme::None, 15.0, 3))
+        .unwrap()
+        .run();
     assert!(
         jit.mean_fidelity >= gp.mean_fidelity - 0.02,
         "JIT fidelity ({:.3}) should be at least greedy's ({:.3})",
@@ -55,10 +61,18 @@ fn paper_ordering_jit_beats_greedy_beats_np() {
 #[test]
 fn prefetching_is_what_rescues_low_duty_cycles() {
     // NP degrades sharply as the sleep period grows; JIT barely moves.
-    let jit_short = Simulation::new(scenario(Scheme::JustInTime, 3.0, 5)).unwrap().run();
-    let jit_long = Simulation::new(scenario(Scheme::JustInTime, 15.0, 5)).unwrap().run();
-    let np_short = Simulation::new(scenario(Scheme::None, 3.0, 5)).unwrap().run();
-    let np_long = Simulation::new(scenario(Scheme::None, 15.0, 5)).unwrap().run();
+    let jit_short = Simulation::new(scenario(Scheme::JustInTime, 3.0, 5))
+        .unwrap()
+        .run();
+    let jit_long = Simulation::new(scenario(Scheme::JustInTime, 15.0, 5))
+        .unwrap()
+        .run();
+    let np_short = Simulation::new(scenario(Scheme::None, 3.0, 5))
+        .unwrap()
+        .run();
+    let np_long = Simulation::new(scenario(Scheme::None, 15.0, 5))
+        .unwrap()
+        .run();
     assert!(np_long.mean_fidelity < np_short.mean_fidelity - 0.1);
     assert!(jit_long.mean_fidelity > 0.9);
     assert!(jit_long.mean_fidelity - np_long.mean_fidelity > 0.4);
@@ -67,8 +81,12 @@ fn prefetching_is_what_rescues_low_duty_cycles() {
 
 #[test]
 fn jit_storage_respects_equation_12_and_greedy_does_not() {
-    let jit = Simulation::new(scenario(Scheme::JustInTime, 9.0, 7)).unwrap().run();
-    let gp = Simulation::new(scenario(Scheme::Greedy, 9.0, 7)).unwrap().run();
+    let jit = Simulation::new(scenario(Scheme::JustInTime, 9.0, 7))
+        .unwrap()
+        .run();
+    let gp = Simulation::new(scenario(Scheme::Greedy, 9.0, 7))
+        .unwrap()
+        .run();
     let params = scenario(Scheme::JustInTime, 9.0, 7).analysis_params();
     let bound = analysis::prefetch_length_jit(&params) as usize;
     assert!(
@@ -87,8 +105,12 @@ fn jit_storage_respects_equation_12_and_greedy_does_not() {
 
 #[test]
 fn greedy_prefetching_causes_more_channel_losses() {
-    let jit = Simulation::new(scenario(Scheme::JustInTime, 15.0, 9)).unwrap().run();
-    let gp = Simulation::new(scenario(Scheme::Greedy, 15.0, 9)).unwrap().run();
+    let jit = Simulation::new(scenario(Scheme::JustInTime, 15.0, 9))
+        .unwrap()
+        .run();
+    let gp = Simulation::new(scenario(Scheme::Greedy, 15.0, 9))
+        .unwrap()
+        .run();
     assert!(
         gp.loss_rate() > jit.loss_rate(),
         "greedy loss rate ({:.3}) should exceed JIT's ({:.3})",
@@ -135,8 +157,12 @@ fn location_errors_cost_a_little_fidelity_but_not_much() {
 fn energy_overhead_of_the_query_service_is_small() {
     // Figure 8: MobiQuery adds well under 0.05 W per sleeping node, and power
     // falls as the sleep period grows.
-    let short = Simulation::new(scenario(Scheme::JustInTime, 3.0, 15)).unwrap().run();
-    let long = Simulation::new(scenario(Scheme::JustInTime, 15.0, 15)).unwrap().run();
+    let short = Simulation::new(scenario(Scheme::JustInTime, 3.0, 15))
+        .unwrap()
+        .run();
+    let long = Simulation::new(scenario(Scheme::JustInTime, 15.0, 15))
+        .unwrap()
+        .run();
     for out in [&short, &long] {
         assert!(out.query_power_overhead_w() < 0.05);
         assert!(out.mean_sleeping_power_w >= out.baseline_sleeping_power_w - 1e-9);
@@ -146,8 +172,12 @@ fn energy_overhead_of_the_query_service_is_small() {
 
 #[test]
 fn runs_are_reproducible_across_full_stack() {
-    let a = Simulation::new(scenario(Scheme::Greedy, 9.0, 21)).unwrap().run();
-    let b = Simulation::new(scenario(Scheme::Greedy, 9.0, 21)).unwrap().run();
+    let a = Simulation::new(scenario(Scheme::Greedy, 9.0, 21))
+        .unwrap()
+        .run();
+    let b = Simulation::new(scenario(Scheme::Greedy, 9.0, 21))
+        .unwrap()
+        .run();
     assert_eq!(a.query_log, b.query_log);
     assert_eq!(a.frames_sent, b.frames_sent);
     assert_eq!(a.trees_built, b.trees_built);
@@ -168,6 +198,9 @@ fn oracle_planner_and_predictor_sources_all_work_end_to_end() {
             .with_profile_source(source);
         let out = Simulation::new(s).unwrap().run();
         assert!(out.trees_built > 0);
-        assert!(out.mean_fidelity > 0.5, "source {source:?} fidelity too low");
+        assert!(
+            out.mean_fidelity > 0.5,
+            "source {source:?} fidelity too low"
+        );
     }
 }

@@ -1,0 +1,42 @@
+//! Smoke test: the unmodified paper-default scenario round-trips through the
+//! full simulation for every prefetching scheme.
+//!
+//! This is deliberately the rawest possible use of the public API — exactly
+//! what the README quickstart shows — so a regression in `Scenario`
+//! validation, substrate assembly, or any scheme's event loop fails loudly
+//! even if the tuned end-to-end assertions in `end_to_end.rs` are skipped.
+
+use mobiquery_repro::mobiquery::config::{Scenario, Scheme};
+use mobiquery_repro::mobiquery::sim::Simulation;
+
+#[test]
+fn non_finite_durations_are_config_errors_not_panics() {
+    for bad in [f64::NAN, f64::INFINITY] {
+        let s = Scenario::paper_default().with_duration_secs(bad);
+        assert!(
+            Simulation::new(s).is_err(),
+            "duration {bad} must be rejected by validation"
+        );
+    }
+}
+
+#[test]
+fn paper_default_round_trips_through_every_scheme() {
+    for scheme in [Scheme::JustInTime, Scheme::Greedy, Scheme::None] {
+        let scenario = Scenario::paper_default().with_scheme(scheme);
+        let out = Simulation::new(scenario)
+            .unwrap_or_else(|e| panic!("{scheme}: paper-default scenario must validate: {e}"))
+            .run();
+        assert!(
+            !out.query_log.is_empty(),
+            "{scheme}: a full paper-default run must score at least one query"
+        );
+        for record in out.query_log.records() {
+            let fidelity = record.fidelity();
+            assert!(
+                (0.0..=1.0).contains(&fidelity),
+                "{scheme}: fidelity {fidelity} out of range"
+            );
+        }
+    }
+}
