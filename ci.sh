@@ -20,10 +20,25 @@ run cargo test -q
 # Every other member's unit/property/doc tests (the facade just ran).
 run cargo test -q --workspace --exclude mobiquery-repro
 
-# The four examples and the CLI must stay runnable, not just compilable.
-for ex in quickstart firefighter rescue_robot duty_cycle_tuning; do
+# The examples and the CLI must stay runnable, not just compilable.
+for ex in quickstart firefighter rescue_robot duty_cycle_tuning parallel_sweep; do
     run cargo run --release -q --example "$ex" >/dev/null
 done
 run cargo run --release -q --bin repro -- --quick fig4 >/dev/null
+run cargo run --release -q --bin repro -- --help >/dev/null
+
+# Determinism gate: the cross-trial fan-out must not change results — the
+# JSON output has to be byte-identical whatever the worker count.
+run cargo run --release -q --bin repro -- --quick --format json --jobs 1 \
+    --out target/repro-jobs1.json fig4
+run cargo run --release -q --bin repro -- --quick --format json --jobs 4 \
+    --out target/repro-jobs4.json fig4
+run cmp target/repro-jobs1.json target/repro-jobs4.json
+
+# Bench trajectory: quick-mode per-figure wall clock, serial vs parallel.
+# Writes under target/ so a green run leaves the tree clean; copy it over
+# the committed snapshot (cp target/BENCH_repro.json BENCH_repro.json) when
+# a PR deliberately updates the perf trajectory.
+run cargo run --release -q --bin repro -- --quick --bench target/BENCH_repro.json all
 
 echo "==> CI green"

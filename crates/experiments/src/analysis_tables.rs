@@ -13,7 +13,8 @@ use mobiquery::analysis::{
     storage_crossover_lifetime_s, warmup_interval_approx_s, warmup_interval_s, AnalysisParams,
 };
 use wsn_geom::mps_to_mph;
-use wsn_metrics::Table;
+use wsn_metrics::{JsonValue, Table};
+use wsn_sim::pool;
 
 /// The Section 5.2 storage-cost example as a table.
 pub fn storage_table() -> Table {
@@ -99,7 +100,26 @@ pub fn warmup_table() -> Table {
 
 /// All analytical tables, in presentation order.
 pub fn run() -> Vec<Table> {
-    vec![storage_table(), contention_table(), warmup_table()]
+    run_parallel(1)
+}
+
+/// All analytical tables, computed on up to `jobs` workers.
+///
+/// These are closed-form (no simulation), so the fan-out is symbolic at
+/// today's table count — but it keeps the analysis target on the same
+/// execution path as the figure sweeps, and the output is independent of
+/// `jobs` by the pool's input-order guarantee.
+pub fn run_parallel(jobs: usize) -> Vec<Table> {
+    pool::run_indexed(jobs, vec![0, 1, 2], |_, which| match which {
+        0 => storage_table(),
+        1 => contention_table(),
+        _ => warmup_table(),
+    })
+}
+
+/// All analytical tables rendered as a JSON array, in presentation order.
+pub fn run_json(jobs: usize) -> JsonValue {
+    JsonValue::Array(run_parallel(jobs).iter().map(Table::to_json).collect())
 }
 
 #[cfg(test)]

@@ -5,9 +5,10 @@
 //! speed ranges {3–5, 6–10, 16–20} m/s, sleep periods {3, 6, 9, 12, 15} s,
 //! success threshold 95 % fidelity, averaged over 3 topologies.
 
-use crate::{run_replicated, ExperimentConfig};
+use crate::runner::TrialPlan;
+use crate::ExperimentConfig;
 use mobiquery::config::Scheme;
-use wsn_metrics::Table;
+use wsn_metrics::{JsonValue, Table};
 use wsn_mobility::ProfileSource;
 
 /// The sleep periods swept in the figure, in seconds.
@@ -48,38 +49,53 @@ pub struct Fig4Point {
     pub ci95: f64,
 }
 
-/// Runs the full sweep and returns every data point.
+/// Runs the full sweep — all (speed × sleep × scheme × replicate) trials fan
+/// out over `config.jobs` workers — and returns every data point.
 pub fn run_points(config: &ExperimentConfig) -> Vec<Fig4Point> {
-    let mut points = Vec::new();
+    let mut plan = TrialPlan::new();
+    let mut coords = Vec::new();
     for &(speed_min, speed_max) in &speed_ranges(config) {
         for &sleep in &sleep_periods(config) {
             for &scheme in &SCHEMES {
-                let scenario = config
-                    .base_scenario()
-                    .with_sleep_period_secs(sleep)
-                    .with_speed_range(speed_min, speed_max)
-                    .with_profile_source(ProfileSource::Oracle)
-                    .with_scheme(scheme);
-                let summary = run_replicated(config, &scenario, |o| o.success_ratio);
-                points.push(Fig4Point {
-                    scheme,
-                    sleep_period_s: sleep,
-                    speed_min,
-                    speed_max,
-                    success_ratio: summary.mean(),
-                    ci95: summary.ci95(),
-                });
+                plan.push_point(
+                    config,
+                    config
+                        .base_scenario()
+                        .with_sleep_period_secs(sleep)
+                        .with_speed_range(speed_min, speed_max)
+                        .with_profile_source(ProfileSource::Oracle)
+                        .with_scheme(scheme),
+                );
+                coords.push((scheme, sleep, speed_min, speed_max));
             }
         }
     }
-    points
+    let summaries = plan.run_summaries(config.jobs, |o| o.success_ratio);
+    coords
+        .into_iter()
+        .zip(summaries)
+        .map(
+            |((scheme, sleep_period_s, speed_min, speed_max), summary)| Fig4Point {
+                scheme,
+                sleep_period_s,
+                speed_min,
+                speed_max,
+                success_ratio: summary.mean(),
+                ci95: summary.ci95(),
+            },
+        )
+        .collect()
 }
 
 /// Runs the sweep and formats it as the paper's Figure 4 table
 /// (rows: scheme × speed range, columns: sleep period).
 pub fn run(config: &ExperimentConfig) -> Table {
+    table_from_points(config, &run_points(config))
+}
+
+/// Formats already-computed points as the Figure 4 table.
+fn table_from_points(config: &ExperimentConfig, points: &[Fig4Point]) -> Table {
     let sleeps = sleep_periods(config);
-    let points = run_points(config);
     let mut columns = vec!["scheme / speed (m/s)".to_string()];
     columns.extend(sleeps.iter().map(|s| format!("sleep={s}s")));
     let mut table = Table::new(
@@ -107,6 +123,27 @@ pub fn run(config: &ExperimentConfig) -> Table {
         }
     }
     table
+}
+
+/// Runs the sweep and renders it as JSON: the formatted table plus every raw
+/// data point at full float precision.
+pub fn run_json(config: &ExperimentConfig) -> JsonValue {
+    let computed = run_points(config);
+    let points: Vec<JsonValue> = computed
+        .iter()
+        .map(|p| {
+            JsonValue::object()
+                .with("scheme", p.scheme.label())
+                .with("sleep_period_s", p.sleep_period_s)
+                .with("speed_min", p.speed_min)
+                .with("speed_max", p.speed_max)
+                .with("success_ratio", p.success_ratio)
+                .with("ci95", p.ci95)
+        })
+        .collect();
+    table_from_points(config, &computed)
+        .to_json()
+        .with("points", points)
 }
 
 #[cfg(test)]

@@ -6,9 +6,10 @@
 //! warm-up of about five periods; MQ-GP shows large variance caused by
 //! congestion losses.
 
-use crate::{run_scenario, ExperimentConfig};
+use crate::runner::TrialPlan;
+use crate::ExperimentConfig;
 use mobiquery::config::Scheme;
-use wsn_metrics::Series;
+use wsn_metrics::{JsonValue, Series};
 use wsn_mobility::ProfileSource;
 
 /// Per-scheme fidelity time series.
@@ -41,29 +42,47 @@ fn steady_mean(series: &Series, skip: usize) -> f64 {
     }
 }
 
-/// Runs the two schemes and returns their fidelity series.
+/// Runs the two schemes (one trial each, in parallel when `config.jobs > 1`)
+/// and returns their fidelity series.
 pub fn run(config: &ExperimentConfig) -> Fig5Output {
     let base = config
         .base_scenario()
         .with_sleep_period_secs(15.0)
         .with_speed_range(3.0, 5.0)
-        .with_profile_source(ProfileSource::Oracle)
-        .with_seed(config.base_seed);
+        .with_profile_source(ProfileSource::Oracle);
+
+    // The figure is a single dynamic trace per scheme, so the plan has one
+    // replicate per point whatever `config.runs` says.
+    let single = ExperimentConfig { runs: 1, ..*config };
+    let mut plan = TrialPlan::new();
+    for scheme in [Scheme::JustInTime, Scheme::Greedy] {
+        plan.push_point(&single, base.clone().with_scheme(scheme));
+    }
+    let mut traces = plan.run_map(config.jobs, |_, output| output.fidelity_series());
 
     let mut out = Fig5Output {
         jit: Series::new("MQ-JIT"),
         greedy: Series::new("MQ-GP"),
     };
-    for (scheme, series) in [
-        (Scheme::JustInTime, &mut out.jit),
-        (Scheme::Greedy, &mut out.greedy),
-    ] {
-        let result = run_scenario(base.clone().with_scheme(scheme));
-        for (k, fidelity) in result.fidelity_series() {
+    let greedy_trace = traces.pop().and_then(|mut t| t.pop()).unwrap_or_default();
+    let jit_trace = traces.pop().and_then(|mut t| t.pop()).unwrap_or_default();
+    for (trace, series) in [(jit_trace, &mut out.jit), (greedy_trace, &mut out.greedy)] {
+        for (k, fidelity) in trace {
             series.push(k as f64, fidelity);
         }
     }
     out
+}
+
+/// Runs the two schemes and renders the series plus steady-state means as
+/// JSON.
+pub fn run_json(config: &ExperimentConfig) -> JsonValue {
+    let out = run(config);
+    JsonValue::object()
+        .with("jit", out.jit.to_json())
+        .with("greedy", out.greedy.to_json())
+        .with("jit_steady_state_mean", out.jit_steady_state_mean(10))
+        .with("greedy_steady_state_mean", out.greedy_steady_state_mean(10))
 }
 
 #[cfg(test)]

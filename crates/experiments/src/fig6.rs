@@ -7,10 +7,11 @@
 //! ratio grows with `Ta` and approaches 100 % once `Ta` exceeds the warm-up
 //! threshold of Equation 16; shorter sleep periods need less advance notice.
 
-use crate::{run_replicated, ExperimentConfig};
+use crate::runner::TrialPlan;
+use crate::ExperimentConfig;
 use mobiquery::analysis;
 use mobiquery::config::Scheme;
-use wsn_metrics::Table;
+use wsn_metrics::{JsonValue, Table};
 
 /// The advance times swept, in seconds.
 pub fn advance_times(config: &ExperimentConfig) -> Vec<f64> {
@@ -44,9 +45,11 @@ pub struct Fig6Point {
     pub warmup_bound_s: f64,
 }
 
-/// Runs the sweep and returns every data point.
+/// Runs the sweep (all trials fanned out over `config.jobs` workers) and
+/// returns every data point.
 pub fn run_points(config: &ExperimentConfig) -> Vec<Fig6Point> {
-    let mut points = Vec::new();
+    let mut plan = TrialPlan::new();
+    let mut coords = Vec::new();
     for &sleep in &sleep_periods(config) {
         for &ta in &advance_times(config) {
             let scenario = config
@@ -58,22 +61,52 @@ pub fn run_points(config: &ExperimentConfig) -> Vec<Fig6Point> {
                 .with_planner_advance(ta)
                 .with_scheme(Scheme::JustInTime);
             let warmup = analysis::warmup_interval_approx_s(&scenario.analysis_params(), ta);
-            let summary = run_replicated(config, &scenario, |o| o.success_ratio);
-            points.push(Fig6Point {
-                sleep_period_s: sleep,
-                advance_s: ta,
-                success_ratio: summary.mean(),
-                warmup_bound_s: warmup,
-            });
+            plan.push_point(config, scenario);
+            coords.push((sleep, ta, warmup));
         }
     }
-    points
+    let summaries = plan.run_summaries(config.jobs, |o| o.success_ratio);
+    coords
+        .into_iter()
+        .zip(summaries)
+        .map(
+            |((sleep_period_s, advance_s, warmup_bound_s), summary)| Fig6Point {
+                sleep_period_s,
+                advance_s,
+                success_ratio: summary.mean(),
+                warmup_bound_s,
+            },
+        )
+        .collect()
 }
 
 /// Runs the sweep and formats it as a table (rows: sleep period, columns: Ta).
 pub fn run(config: &ExperimentConfig) -> Table {
+    table_from_points(config, &run_points(config))
+}
+
+/// Runs the sweep and renders it as JSON: the formatted table plus every raw
+/// data point (success ratio and Eq.-16 warm-up bound) at full precision.
+pub fn run_json(config: &ExperimentConfig) -> JsonValue {
+    let computed = run_points(config);
+    let points: Vec<JsonValue> = computed
+        .iter()
+        .map(|p| {
+            JsonValue::object()
+                .with("sleep_period_s", p.sleep_period_s)
+                .with("advance_s", p.advance_s)
+                .with("success_ratio", p.success_ratio)
+                .with("warmup_bound_s", p.warmup_bound_s)
+        })
+        .collect();
+    table_from_points(config, &computed)
+        .to_json()
+        .with("points", points)
+}
+
+/// Formats already-computed points as the Figure 6 table.
+fn table_from_points(config: &ExperimentConfig, points: &[Fig6Point]) -> Table {
     let tas = advance_times(config);
-    let points = run_points(config);
     let mut columns = vec!["sleep period".to_string()];
     columns.extend(tas.iter().map(|t| format!("Ta={t}s")));
     let mut table = Table::new(

@@ -7,9 +7,10 @@
 //! hence `Ta = −8 s`) with GPS errors of 5 m and 10 m. The success ratio
 //! grows with the interval; larger errors cost a few per cent.
 
-use crate::{run_replicated, ExperimentConfig};
+use crate::runner::TrialPlan;
+use crate::ExperimentConfig;
 use mobiquery::config::{Scenario, Scheme};
-use wsn_metrics::Table;
+use wsn_metrics::{JsonValue, Table};
 
 /// The motion-change intervals swept, in seconds.
 pub fn change_intervals(config: &ExperimentConfig) -> Vec<f64> {
@@ -83,9 +84,11 @@ pub struct Fig7Point {
     pub success_ratio: f64,
 }
 
-/// Runs the sweep and returns every data point.
+/// Runs the sweep (all trials fanned out over `config.jobs` workers) and
+/// returns every data point.
 pub fn run_points(config: &ExperimentConfig) -> Vec<Fig7Point> {
-    let mut points = Vec::new();
+    let mut plan = TrialPlan::new();
+    let mut coords = Vec::new();
     for variant in variants(config) {
         for &interval in &change_intervals(config) {
             let scenario = variant.apply(
@@ -97,21 +100,48 @@ pub fn run_points(config: &ExperimentConfig) -> Vec<Fig7Point> {
                     .with_duration_secs(if config.quick { 130.0 } else { 500.0 })
                     .with_scheme(Scheme::JustInTime),
             );
-            let summary = run_replicated(config, &scenario, |o| o.success_ratio);
-            points.push(Fig7Point {
-                variant,
-                change_interval_s: interval,
-                success_ratio: summary.mean(),
-            });
+            plan.push_point(config, scenario);
+            coords.push((variant, interval));
         }
     }
-    points
+    let summaries = plan.run_summaries(config.jobs, |o| o.success_ratio);
+    coords
+        .into_iter()
+        .zip(summaries)
+        .map(|((variant, change_interval_s), summary)| Fig7Point {
+            variant,
+            change_interval_s,
+            success_ratio: summary.mean(),
+        })
+        .collect()
 }
 
 /// Runs the sweep and formats it as a table (rows: variant, columns: interval).
 pub fn run(config: &ExperimentConfig) -> Table {
+    table_from_points(config, &run_points(config))
+}
+
+/// Runs the sweep and renders it as JSON: the formatted table plus every raw
+/// data point at full precision.
+pub fn run_json(config: &ExperimentConfig) -> JsonValue {
+    let computed = run_points(config);
+    let points: Vec<JsonValue> = computed
+        .iter()
+        .map(|p| {
+            JsonValue::object()
+                .with("variant", p.variant.label())
+                .with("change_interval_s", p.change_interval_s)
+                .with("success_ratio", p.success_ratio)
+        })
+        .collect();
+    table_from_points(config, &computed)
+        .to_json()
+        .with("points", points)
+}
+
+/// Formats already-computed points as the Figure 7 table.
+fn table_from_points(config: &ExperimentConfig, points: &[Fig7Point]) -> Table {
     let intervals = change_intervals(config);
-    let points = run_points(config);
     let mut columns = vec!["profile source".to_string()];
     columns.extend(intervals.iter().map(|i| format!("interval={i}s")));
     let mut table = Table::new(

@@ -8,9 +8,11 @@
 //! and a late profile (`Ta = −3 s`) costs slightly *less* energy than an
 //! early one (`Ta = 9 s`) because warm-up periods wake fewer nodes.
 
-use crate::{run_replicated, ExperimentConfig};
+use crate::runner::TrialPlan;
+use crate::ExperimentConfig;
 use mobiquery::config::Scheme;
-use wsn_metrics::Table;
+use wsn_metrics::{JsonValue, Table};
+use wsn_sim::stats::Summary;
 
 /// The sleep periods swept, in seconds.
 pub fn sleep_periods(config: &ExperimentConfig) -> Vec<f64> {
@@ -34,10 +36,17 @@ pub struct Fig8Point {
     pub jit_early_power_w: f64,
 }
 
-/// Runs the sweep and returns every data point.
+/// Runs the sweep (all trials fanned out over `config.jobs` workers) and
+/// returns every data point.
+///
+/// Each sleep period contributes two plan points — a late profile
+/// (`Ta = −3 s`) and an early one (`Ta = 9 s`) — and every trial reports both
+/// its query power and its duty-cycle-only baseline, so the CCP curve comes
+/// from the late-profile runs without simulating them a second time.
 pub fn run_points(config: &ExperimentConfig) -> Vec<Fig8Point> {
-    let mut points = Vec::new();
-    for &sleep in &sleep_periods(config) {
+    let sleeps = sleep_periods(config);
+    let mut plan = TrialPlan::new();
+    for &sleep in &sleeps {
         let base = config
             .base_scenario()
             .with_sleep_period_secs(sleep)
@@ -45,30 +54,58 @@ pub fn run_points(config: &ExperimentConfig) -> Vec<Fig8Point> {
             .with_motion_change_interval(70.0)
             .with_duration_secs(if config.quick { 120.0 } else { 400.0 })
             .with_scheme(Scheme::JustInTime);
-
-        let late = base.clone().with_planner_advance(-3.0);
-        let early = base.clone().with_planner_advance(9.0);
-        let late_power = run_replicated(config, &late, |o| o.mean_sleeping_power_w);
-        let early_power = run_replicated(config, &early, |o| o.mean_sleeping_power_w);
-        // The CCP baseline (no query) is the duty-cycle-only power, reported
-        // by every run; take it from the late-profile run.
-        let ccp_power = run_replicated(config, &late, |o| o.baseline_sleeping_power_w);
-
-        points.push(Fig8Point {
-            sleep_period_s: sleep,
-            ccp_power_w: ccp_power.mean(),
-            jit_late_power_w: late_power.mean(),
-            jit_early_power_w: early_power.mean(),
-        });
+        plan.push_point(config, base.clone().with_planner_advance(-3.0));
+        plan.push_point(config, base.with_planner_advance(9.0));
     }
-    points
+
+    let per_point = plan.run_map(config.jobs, |_, o| {
+        (o.mean_sleeping_power_w, o.baseline_sleeping_power_w)
+    });
+    sleeps
+        .iter()
+        .zip(per_point.chunks_exact(2))
+        .map(|(&sleep, pair)| {
+            let summarize = |trials: &[(f64, f64)], pick: fn(&(f64, f64)) -> f64| -> Summary {
+                trials.iter().map(pick).collect()
+            };
+            Fig8Point {
+                sleep_period_s: sleep,
+                ccp_power_w: summarize(&pair[0], |t| t.1).mean(),
+                jit_late_power_w: summarize(&pair[0], |t| t.0).mean(),
+                jit_early_power_w: summarize(&pair[1], |t| t.0).mean(),
+            }
+        })
+        .collect()
 }
 
 /// Runs the sweep and formats it as a table (rows: configuration, columns:
 /// sleep period).
 pub fn run(config: &ExperimentConfig) -> Table {
+    table_from_points(config, &run_points(config))
+}
+
+/// Runs the sweep and renders it as JSON: the formatted table plus every raw
+/// data point at full precision.
+pub fn run_json(config: &ExperimentConfig) -> JsonValue {
+    let computed = run_points(config);
+    let points: Vec<JsonValue> = computed
+        .iter()
+        .map(|p| {
+            JsonValue::object()
+                .with("sleep_period_s", p.sleep_period_s)
+                .with("ccp_power_w", p.ccp_power_w)
+                .with("jit_late_power_w", p.jit_late_power_w)
+                .with("jit_early_power_w", p.jit_early_power_w)
+        })
+        .collect();
+    table_from_points(config, &computed)
+        .to_json()
+        .with("points", points)
+}
+
+/// Formats already-computed points as the Figure 8 table.
+fn table_from_points(config: &ExperimentConfig, points: &[Fig8Point]) -> Table {
     let sleeps = sleep_periods(config);
-    let points = run_points(config);
     let mut columns = vec!["configuration".to_string()];
     columns.extend(sleeps.iter().map(|s| format!("sleep={s}s")));
     let mut table = Table::new("Figure 8: power consumption per sleeping node (W)", columns);

@@ -26,12 +26,14 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod runner;
 
 use mobiquery::config::Scenario;
 use mobiquery::sim::{Simulation, SimulationOutput};
+use runner::TrialPlan;
 use wsn_sim::stats::Summary;
 
-/// Controls how heavy each experiment is.
+/// Controls how heavy each experiment is and how many worker threads run it.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExperimentConfig {
     /// Run the paper-scale version (`false`) or the scaled-down quick
@@ -39,8 +41,12 @@ pub struct ExperimentConfig {
     pub quick: bool,
     /// Number of independent topologies/runs averaged per data point.
     pub runs: u64,
-    /// Base RNG seed; run `r` of a point uses `base_seed + r`.
+    /// Base RNG seed; trial `r` of point `p` uses
+    /// [`runner::trial_seed`]`(base_seed, p, r)`.
     pub base_seed: u64,
+    /// Worker threads for cross-trial fan-out (see [`wsn_sim::pool`]).
+    /// Results do not depend on this; only wall-clock does.
+    pub jobs: usize,
 }
 
 impl ExperimentConfig {
@@ -50,6 +56,7 @@ impl ExperimentConfig {
             quick: false,
             runs: 3,
             base_seed: 42,
+            jobs: 1,
         }
     }
 
@@ -59,7 +66,15 @@ impl ExperimentConfig {
             quick: true,
             runs: 1,
             base_seed: 42,
+            jobs: 1,
         }
+    }
+
+    /// Returns the configuration with `jobs` worker threads for trial
+    /// fan-out. Pass [`wsn_sim::pool::available_jobs`] to use every core.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
     }
 
     /// The base scenario for this configuration: the paper's Section 6.1
@@ -97,17 +112,21 @@ pub fn run_scenario(scenario: Scenario) -> SimulationOutput {
 
 /// Runs `config.runs` independent repetitions of `scenario` (differing only
 /// in seed) and returns the summary of the value extracted by `metric`.
+///
+/// This is a one-point [`TrialPlan`]: the replicates fan out over
+/// `config.jobs` workers and the seeds are `runner::trial_seed(base_seed, 0,
+/// r)`. Figure sweeps should build a full plan instead so *all* their trials
+/// share one fan-out.
 pub fn run_replicated(
     config: &ExperimentConfig,
     scenario: &Scenario,
-    metric: impl Fn(&SimulationOutput) -> f64,
+    metric: impl Fn(&SimulationOutput) -> f64 + Sync,
 ) -> Summary {
-    (0..config.runs)
-        .map(|r| {
-            let out = run_scenario(scenario.clone().with_seed(config.base_seed + r));
-            metric(&out)
-        })
-        .collect()
+    let mut plan = TrialPlan::new();
+    plan.push_point(config, scenario.clone());
+    plan.run_summaries(config.jobs, metric)
+        .pop()
+        .expect("one point in, one summary out")
 }
 
 #[cfg(test)]
@@ -126,9 +145,9 @@ mod tests {
     #[test]
     fn replicated_runs_average_the_metric() {
         let config = ExperimentConfig {
-            quick: true,
             runs: 2,
             base_seed: 7,
+            ..ExperimentConfig::quick()
         };
         let scenario = config
             .base_scenario()

@@ -14,15 +14,19 @@
 //!
 //! [`QueryRecord`]/[`QueryLog`] capture per-query outcomes, [`Series`] holds
 //! the per-period time series of Figure 5, and [`Table`] renders the aligned
-//! text/CSV tables the experiment harness prints for every figure.
+//! text/CSV tables the experiment harness prints for every figure. The
+//! [`json`] module is the deterministic JSON emitter behind
+//! `repro --format json` and the committed bench trajectory.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
 pub mod query;
 pub mod series;
 pub mod table;
 
+pub use json::JsonValue;
 pub use query::{QueryLog, QueryRecord};
 pub use series::Series;
 pub use table::Table;

@@ -58,6 +58,20 @@ impl Series {
             .map(|&(_, y)| y)
     }
 
+    /// Renders the series as a JSON object `{name, points}` where `points` is
+    /// an array of `[x, y]` pairs.
+    pub fn to_json(&self) -> crate::json::JsonValue {
+        use crate::json::JsonValue;
+        let points: Vec<JsonValue> = self
+            .points
+            .iter()
+            .map(|&(x, y)| JsonValue::Array(vec![x.into(), y.into()]))
+            .collect();
+        JsonValue::object()
+            .with("name", self.name.as_str())
+            .with("points", points)
+    }
+
     /// Renders the series as CSV lines `x,y` preceded by a header naming the
     /// series.
     pub fn to_csv(&self) -> String {

@@ -74,6 +74,24 @@ impl Table {
         &self.rows
     }
 
+    /// Renders the table as a JSON object `{title, header, rows}` with the
+    /// cells kept as their already-formatted strings.
+    pub fn to_json(&self) -> crate::json::JsonValue {
+        use crate::json::JsonValue;
+        let rows: Vec<JsonValue> = self
+            .rows
+            .iter()
+            .map(|row| JsonValue::Array(row.iter().map(|c| c.as_str().into()).collect()))
+            .collect();
+        JsonValue::object()
+            .with("title", self.title.as_str())
+            .with(
+                "header",
+                JsonValue::Array(self.header.iter().map(|h| h.as_str().into()).collect()),
+            )
+            .with("rows", rows)
+    }
+
     /// Renders the table as CSV (header first, no title).
     pub fn to_csv(&self) -> String {
         let mut out = String::new();

@@ -17,6 +17,9 @@
 //! of this scale (hundreds of nodes, hundreds of simulated seconds) are
 //! dominated by event ordering rather than raw compute, and determinism is
 //! worth far more than parallelism for reproducing published figures.
+//! Parallelism happens one level up instead: independent runs fan out across
+//! worker threads through the [`pool`] module, which preserves input order so
+//! results are identical whatever the worker count.
 //!
 //! ```
 //! use wsn_sim::{Duration, Engine, EventQueue, SimTime, World};
@@ -50,6 +53,7 @@
 
 mod engine;
 mod event;
+pub mod pool;
 mod rng;
 pub mod stats;
 mod time;

@@ -1,0 +1,147 @@
+//! A scoped work-stealing thread pool for embarrassingly parallel jobs.
+//!
+//! The simulation engine itself is deliberately single-threaded (see the
+//! crate docs): determinism inside one run is worth more than parallelism.
+//! Scaling therefore happens *across* runs — every figure sweep is a bag of
+//! independent trials — and this module provides the fan-out: [`run_indexed`]
+//! executes a batch of independent tasks on up to `jobs` worker threads and
+//! returns the results **in input order**, so callers observe identical
+//! output no matter how many workers ran or how work was interleaved.
+//!
+//! The pool is built on [`std::thread::scope`] only (the workspace builds
+//! offline, so no external executor crates). Each worker owns a deque seeded
+//! round-robin with tasks; it pops work from the front of its own deque and,
+//! when empty, steals from the back of a sibling's. Results carry their input
+//! index and are sorted once at the end, which is what makes the output
+//! deterministic by construction rather than by scheduling luck.
+//!
+//! ```
+//! use wsn_sim::pool;
+//!
+//! let squares = pool::run_indexed(4, (0u64..100).collect(), |_, n| n * n);
+//! assert_eq!(squares[7], 49);
+//! assert_eq!(squares, pool::run_indexed(1, (0u64..100).collect(), |_, n| n * n));
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// The number of worker threads to use when the caller does not specify one:
+/// the hardware's available parallelism, or 1 if that cannot be determined.
+pub fn available_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `f` over every item on up to `jobs` worker threads and returns the
+/// results in input order.
+///
+/// `f` receives each item's input index alongside the item. `jobs` is clamped
+/// to `1..=items.len()`; with one job (or zero/one items) everything runs
+/// inline on the calling thread, which keeps the `--jobs 1` path free of any
+/// threading machinery while producing the same results as the parallel path.
+///
+/// # Panics
+///
+/// Panics if `f` panics on any item (the panic is propagated once every
+/// worker has been joined, courtesy of [`std::thread::scope`]).
+pub fn run_indexed<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    let jobs = jobs.max(1).min(n.max(1));
+    if jobs == 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+
+    // Deal tasks round-robin so every worker starts with a spread of early
+    // and late items (sweeps often order trials from cheap to expensive).
+    let queues: Vec<Mutex<VecDeque<(usize, T)>>> = {
+        let mut dealt: Vec<VecDeque<(usize, T)>> = (0..jobs).map(|_| VecDeque::new()).collect();
+        for (i, item) in items.into_iter().enumerate() {
+            dealt[i % jobs].push_back((i, item));
+        }
+        dealt.into_iter().map(Mutex::new).collect()
+    };
+    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+
+    std::thread::scope(|scope| {
+        for w in 0..jobs {
+            let queues = &queues;
+            let results = &results;
+            let f = &f;
+            scope.spawn(move || {
+                let mut local = Vec::new();
+                loop {
+                    // Own deque first (front), then steal from a sibling's
+                    // back. No task is ever re-queued, so once every deque
+                    // reads empty the worker can retire. The own-queue pop
+                    // must be a standalone statement: its MutexGuard lives to
+                    // the end of the statement, and holding it while locking
+                    // siblings would form a lock cycle (two idle workers each
+                    // holding their own empty queue, waiting on the other's).
+                    let own = queues[w].lock().unwrap().pop_front();
+                    let task = own.or_else(|| {
+                        (1..jobs)
+                            .find_map(|off| queues[(w + off) % jobs].lock().unwrap().pop_back())
+                    });
+                    match task {
+                        Some((i, item)) => local.push((i, f(i, item))),
+                        None => break,
+                    }
+                }
+                results.lock().unwrap().append(&mut local);
+            });
+        }
+    });
+
+    let mut collected = results.into_inner().unwrap();
+    debug_assert_eq!(collected.len(), n, "every task must produce one result");
+    collected.sort_unstable_by_key(|&(i, _)| i);
+    collected.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let out = run_indexed(4, (0..64).collect::<Vec<i32>>(), |i, x| {
+            assert_eq!(i as i32, x);
+            x * 10
+        });
+        assert_eq!(out, (0..64).map(|x| x * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let work = |_, x: u64| {
+            // Uneven per-item cost so stealing actually kicks in.
+            (0..(x % 7) * 1000).fold(x, |acc, i| acc.wrapping_mul(31).wrapping_add(i))
+        };
+        let serial = run_indexed(1, (0..200).collect(), work);
+        let parallel = run_indexed(8, (0..200).collect(), work);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(run_indexed(4, Vec::<u8>::new(), |_, x| x), Vec::<u8>::new());
+        assert_eq!(run_indexed(0, vec![5], |_, x| x + 1), vec![6]);
+        assert_eq!(run_indexed(16, vec![1, 2], |_, x| x), vec![1, 2]);
+    }
+
+    #[test]
+    fn available_jobs_is_positive() {
+        assert!(available_jobs() >= 1);
+    }
+}

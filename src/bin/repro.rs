@@ -1,30 +1,183 @@
 //! `repro` — regenerate the MobiQuery paper's figures and analytical tables.
 //!
 //! ```text
-//! repro [--quick] [--runs N] <fig4|fig5|fig6|fig7|fig8|analysis|all>
+//! repro [options] <fig4|fig5|fig6|fig7|fig8|analysis|all>
 //! ```
 //!
 //! Full mode uses the paper's settings (200 nodes, 450 m field, 400–500 s
-//! runs) and takes minutes per figure; `--quick` runs a scaled-down variant
-//! that preserves the qualitative comparisons and finishes in seconds.
+//! runs); `--quick` runs a scaled-down variant that preserves the qualitative
+//! comparisons and finishes in seconds. Trials fan out across worker threads
+//! (`--jobs`); per-trial seeds are derived from the plan coordinates, so the
+//! output is byte-identical whatever the job count — CI diffs `--jobs 1`
+//! against `--jobs 4` to enforce exactly that.
 
 use mobiquery_experiments::{analysis_tables, fig4, fig5, fig6, fig7, fig8, ExperimentConfig};
 use std::process::ExitCode;
+use std::time::Instant;
+use wsn_metrics::JsonValue;
+use wsn_sim::pool;
 
-fn usage() -> ExitCode {
-    eprintln!(
-        "usage: repro [--quick] [--runs N] <fig4|fig5|fig6|fig7|fig8|analysis|all>\n\
-         \n\
-         Regenerates the MobiQuery paper's evaluation figures as text tables/series.\n\
-         --quick   use the scaled-down scenario (fast, same qualitative shape)\n\
-         --runs N  number of topologies averaged per data point (default 3 full / 1 quick)"
-    );
+const USAGE: &str = "usage: repro [options] <fig4|fig5|fig6|fig7|fig8|analysis|all>
+
+Regenerates the MobiQuery paper's evaluation figures as tables/series.
+
+Options:
+  --quick            use the scaled-down scenario (fast, same qualitative shape)
+  --runs N           topologies averaged per data point (default 3 full / 1 quick)
+  --jobs N           worker threads for the trial fan-out (default: all cores);
+                     results are byte-identical for every N
+  --format FMT       output format: text (default) or json
+  --out PATH         write the output to PATH instead of stdout
+  --bench PATH       time every requested target serial (--jobs 1) vs parallel,
+                     verify both give identical results, and write the timings
+                     as JSON to PATH (the BENCH_repro.json trajectory format);
+                     not combinable with --out/--format
+  -h, --help         print this help and exit";
+
+const ALL_TARGETS: [&str; 6] = ["analysis", "fig4", "fig5", "fig6", "fig7", "fig8"];
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
+
+fn bad_usage() -> ExitCode {
+    eprintln!("{USAGE}");
     ExitCode::FAILURE
+}
+
+/// Renders one target as display text.
+fn target_text(name: &str, config: &ExperimentConfig) -> Option<String> {
+    let out = match name {
+        "fig4" => format!("{}\n", fig4::run(config)),
+        "fig5" => {
+            let out = fig5::run(config);
+            format!(
+                "{}\n{}\nsteady-state mean fidelity: MQ-JIT {:.3}, MQ-GP {:.3}\n",
+                out.jit,
+                out.greedy,
+                out.jit_steady_state_mean(10),
+                out.greedy_steady_state_mean(10)
+            )
+        }
+        "fig6" => format!("{}\n", fig6::run(config)),
+        "fig7" => format!("{}\n", fig7::run(config)),
+        "fig8" => format!("{}\n", fig8::run(config)),
+        "analysis" => {
+            let mut s = String::new();
+            for table in analysis_tables::run_parallel(config.jobs) {
+                s.push_str(&format!("{table}\n"));
+            }
+            s
+        }
+        _ => return None,
+    };
+    Some(out)
+}
+
+/// Renders one target as a JSON value.
+fn target_json(name: &str, config: &ExperimentConfig) -> Option<JsonValue> {
+    let out = match name {
+        "fig4" => fig4::run_json(config),
+        "fig5" => fig5::run_json(config),
+        "fig6" => fig6::run_json(config),
+        "fig7" => fig7::run_json(config),
+        "fig8" => fig8::run_json(config),
+        "analysis" => analysis_tables::run_json(config.jobs),
+        _ => return None,
+    };
+    Some(out)
+}
+
+/// The `--format json` document for a list of targets. Deliberately excludes
+/// the job count and any timing: the bytes must be identical for every
+/// `--jobs N`.
+fn results_json(targets: &[String], config: &ExperimentConfig) -> Option<JsonValue> {
+    let mut results = JsonValue::object();
+    for target in targets {
+        results = results.with(target.as_str(), target_json(target, config)?);
+    }
+    Some(
+        JsonValue::object()
+            .with("schema", "mobiquery-repro/results/v1")
+            .with("mode", if config.quick { "quick" } else { "full" })
+            .with("runs", config.runs)
+            .with("base_seed", config.base_seed)
+            .with("results", results),
+    )
+}
+
+/// The `--bench` document: per-target wall-clock, serial vs parallel, plus a
+/// determinism cross-check that both job counts produced identical results.
+fn bench_json(targets: &[String], config: &ExperimentConfig) -> Option<JsonValue> {
+    let mut figures = Vec::new();
+    for target in targets {
+        let serial_config = config.with_jobs(1);
+        let start = Instant::now();
+        let serial = target_json(target, &serial_config)?;
+        let serial_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        let start = Instant::now();
+        let parallel = target_json(target, config)?;
+        let parallel_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        assert_eq!(
+            serial, parallel,
+            "{target}: --jobs 1 and --jobs {} disagree",
+            config.jobs
+        );
+        eprintln!(
+            "bench {target}: serial {serial_ms:.0} ms, parallel {parallel_ms:.0} ms \
+             ({:.2}x, {} jobs)",
+            serial_ms / parallel_ms.max(1e-9),
+            config.jobs
+        );
+        figures.push(
+            JsonValue::object()
+                .with("name", target.as_str())
+                .with("serial_ms", round_ms(serial_ms))
+                .with("parallel_ms", round_ms(parallel_ms))
+                .with("speedup", round_ms(serial_ms / parallel_ms.max(1e-9))),
+        );
+    }
+    Some(
+        JsonValue::object()
+            .with("schema", "mobiquery-repro/bench/v1")
+            .with("mode", if config.quick { "quick" } else { "full" })
+            .with("runs", config.runs)
+            .with("parallel_jobs", config.jobs)
+            .with("figures", figures),
+    )
+}
+
+fn round_ms(v: f64) -> f64 {
+    (v * 100.0).round() / 100.0
+}
+
+fn emit(content: &str, out_path: Option<&str>) -> ExitCode {
+    match out_path {
+        None => {
+            print!("{content}");
+            ExitCode::SUCCESS
+        }
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, content) {
+                eprintln!("repro: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+    }
 }
 
 fn main() -> ExitCode {
     let mut quick = false;
     let mut runs: Option<u64> = None;
+    let mut jobs: Option<usize> = None;
+    let mut format: Option<Format> = None;
+    let mut out_path: Option<String> = None;
+    let mut bench_path: Option<String> = None;
     let mut targets: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -33,15 +186,38 @@ fn main() -> ExitCode {
             "--quick" => quick = true,
             "--runs" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) => runs = Some(n),
-                None => return usage(),
+                None => return bad_usage(),
             },
-            "--help" | "-h" => return usage(),
-            other if other.starts_with('-') => return usage(),
+            "--jobs" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => jobs = Some(n),
+                _ => return bad_usage(),
+            },
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Some(Format::Text),
+                Some("json") => format = Some(Format::Json),
+                _ => return bad_usage(),
+            },
+            "--out" => match args.next() {
+                Some(path) => out_path = Some(path),
+                None => return bad_usage(),
+            },
+            "--bench" => match args.next() {
+                Some(path) => bench_path = Some(path),
+                None => return bad_usage(),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("repro: unknown option {other}\n");
+                return bad_usage();
+            }
             other => targets.push(other.to_string()),
         }
     }
     if targets.is_empty() {
-        return usage();
+        return bad_usage();
     }
 
     let mut config = if quick {
@@ -52,47 +228,47 @@ fn main() -> ExitCode {
     if let Some(n) = runs {
         config.runs = n.max(1);
     }
-
-    let run_target = |name: &str| -> bool {
-        match name {
-            "fig4" => println!("{}", fig4::run(&config)),
-            "fig5" => {
-                let out = fig5::run(&config);
-                println!("{}", out.jit);
-                println!("{}", out.greedy);
-                println!(
-                    "steady-state mean fidelity: MQ-JIT {:.3}, MQ-GP {:.3}",
-                    out.jit_steady_state_mean(10),
-                    out.greedy_steady_state_mean(10)
-                );
-            }
-            "fig6" => println!("{}", fig6::run(&config)),
-            "fig7" => println!("{}", fig7::run(&config)),
-            "fig8" => println!("{}", fig8::run(&config)),
-            "analysis" => {
-                for table in analysis_tables::run() {
-                    println!("{table}");
-                }
-            }
-            _ => return false,
-        }
-        true
-    };
+    config = config.with_jobs(jobs.unwrap_or_else(pool::available_jobs));
 
     let expanded: Vec<String> = if targets.iter().any(|t| t == "all") {
-        ["analysis", "fig4", "fig5", "fig6", "fig7", "fig8"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect()
+        ALL_TARGETS.iter().map(|s| s.to_string()).collect()
     } else {
         targets
     };
-
-    for target in &expanded {
-        if !run_target(target) {
-            eprintln!("unknown target: {target}");
-            return usage();
-        }
+    if let Some(bad) = expanded.iter().find(|t| !ALL_TARGETS.contains(&t.as_str())) {
+        eprintln!("repro: unknown target {bad}\n");
+        return bad_usage();
     }
-    ExitCode::SUCCESS
+
+    if let Some(path) = bench_path {
+        // --bench is its own output mode: it writes the timing document to
+        // its PATH and nothing else, so combining it with --out/--format
+        // would silently drop those — reject instead.
+        if out_path.is_some() || format.is_some() {
+            eprintln!("repro: --bench cannot be combined with --out or --format\n");
+            return bad_usage();
+        }
+        let Some(doc) = bench_json(&expanded, &config) else {
+            return bad_usage();
+        };
+        return emit(&doc.to_pretty_string(), Some(&path));
+    }
+
+    let content = match format.unwrap_or(Format::Text) {
+        Format::Json => match results_json(&expanded, &config) {
+            Some(doc) => doc.to_pretty_string(),
+            None => return bad_usage(),
+        },
+        Format::Text => {
+            let mut s = String::new();
+            for target in &expanded {
+                match target_text(target, &config) {
+                    Some(text) => s.push_str(&text),
+                    None => return bad_usage(),
+                }
+            }
+            s
+        }
+    };
+    emit(&content, out_path.as_deref())
 }
