@@ -20,6 +20,10 @@ run cargo test -q
 # Every other member's unit/property/doc tests (the facade just ran).
 run cargo test -q --workspace --exclude mobiquery-repro
 
+# Benches must keep compiling (clippy lints them, but only --no-run proves
+# the harness links).
+run cargo bench --no-run -q
+
 # The examples and the CLI must stay runnable, not just compilable.
 for ex in quickstart firefighter rescue_robot duty_cycle_tuning parallel_sweep; do
     run cargo run --release -q --example "$ex" >/dev/null
@@ -35,10 +39,14 @@ run cargo run --release -q --bin repro -- --quick --format json --jobs 4 \
     --out target/repro-jobs4.json fig4
 run cmp target/repro-jobs1.json target/repro-jobs4.json
 
-# Bench trajectory: quick-mode per-figure wall clock, serial vs parallel.
-# Writes under target/ so a green run leaves the tree clean; copy it over
-# the committed snapshot (cp target/BENCH_repro.json BENCH_repro.json) when
-# a PR deliberately updates the perf trajectory.
-run cargo run --release -q --bin repro -- --quick --bench target/BENCH_repro.json all
+# Bench trajectory: quick-mode per-figure wall clock (serial vs parallel)
+# plus a small --scale smoke sweep (the committed snapshot carries the full
+# 1k-20k sweep). Writes under target/ so a green run leaves the tree clean;
+# copy it over the committed snapshot when a PR deliberately updates the
+# perf trajectory:
+#   cargo run --release -q --bin repro -- --quick \
+#       --bench BENCH_repro.json --scale 1000,2000,5000,10000,20000 all
+run cargo run --release -q --bin repro -- --quick \
+    --bench target/BENCH_repro.json --scale 1000,2000 all
 
 echo "==> CI green"

@@ -1,0 +1,211 @@
+//! Indexed vs linear per-query hot path at deployment scale.
+//!
+//! Benchmarks the two lookups a MobiQuery period performs, each in its
+//! pre-optimization linear form and its spatial-grid form, at 1k and 10k
+//! nodes (constant density):
+//!
+//! * `nearest_backbone` — collector / proxy-attach selection: linear scan
+//!   over every backbone node vs the backbone grid's expanding-ring search;
+//! * `query_install` — flood-tree build plus parent assignment for every
+//!   sleeping node in the query area: per-node scan over the whole tree vs
+//!   grid candidates filtered through the scratch's dense in-tree marks.
+//!
+//! Both variants produce identical assignments (asserted once per fixture);
+//! only the lookup strategy differs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wsn_geom::{Point, Rect, SpatialGrid};
+use wsn_net::{FloodScratch, NeighborTable, NodeId};
+use wsn_sim::SimRng;
+
+/// Paper-default radio range and query radius.
+const COMM_RANGE: f64 = 105.0;
+const QUERY_RADIUS: f64 = 150.0;
+
+struct Fixture {
+    positions: Vec<Point>,
+    backbone: Vec<NodeId>,
+    is_backbone: Vec<bool>,
+    neighbors: NeighborTable,
+    all_grid: SpatialGrid,
+    backbone_grid: SpatialGrid,
+    pickup: Point,
+    sleeping_in_area: Vec<NodeId>,
+}
+
+/// Uniform deployment at the paper's density with every third node acting as
+/// backbone (about the fraction CCP elects).
+fn fixture(nodes: usize, seed: u64) -> Fixture {
+    let side = 450.0 * (nodes as f64 / 200.0).sqrt();
+    let region = Rect::square(side);
+    let mut rng = SimRng::seed_from_u64(seed);
+    let positions: Vec<Point> = (0..nodes)
+        .map(|_| Point::new(rng.gen_range_f64(0.0, side), rng.gen_range_f64(0.0, side)))
+        .collect();
+    let is_backbone: Vec<bool> = (0..nodes).map(|i| i % 3 == 0).collect();
+    let backbone: Vec<NodeId> = (0..nodes).filter(|&i| is_backbone[i]).map(NodeId).collect();
+    let neighbors = NeighborTable::build(&positions, region, COMM_RANGE);
+    let mut all_grid = SpatialGrid::new(region, COMM_RANGE).unwrap();
+    let mut backbone_grid = SpatialGrid::new(region, COMM_RANGE).unwrap();
+    for (i, &p) in positions.iter().enumerate() {
+        all_grid.insert(i, p);
+        if is_backbone[i] {
+            backbone_grid.insert(i, p);
+        }
+    }
+    let pickup = Point::new(side / 2.0, side / 2.0);
+    let sleeping_in_area: Vec<NodeId> = all_grid
+        .query_range(pickup, QUERY_RADIUS)
+        .filter(|&i| !is_backbone[i])
+        .map(NodeId)
+        .collect();
+    Fixture {
+        positions,
+        backbone,
+        is_backbone,
+        neighbors,
+        all_grid,
+        backbone_grid,
+        pickup,
+        sleeping_in_area,
+    }
+}
+
+/// The pre-index collector selection: scan every backbone node.
+fn nearest_backbone_linear(f: &Fixture, p: Point) -> Option<NodeId> {
+    f.backbone.iter().copied().min_by(|&a, &b| {
+        f.positions[a.index()]
+            .distance_sq_to(p)
+            .total_cmp(&f.positions[b.index()].distance_sq_to(p))
+    })
+}
+
+/// One query installation, linear flavour: fresh-scratch tree build plus a
+/// whole-tree scan per sleeping node (what `install_query` used to do).
+fn install_linear(f: &Fixture) -> (Option<NodeId>, usize) {
+    let collector = nearest_backbone_linear(f, f.pickup);
+    let root = collector.expect("fixture has backbone nodes");
+    let relay = QUERY_RADIUS + COMM_RANGE;
+    let tree = wsn_net::FloodTree::build(root, &f.neighbors, |n| {
+        f.is_backbone[n.index()] && f.positions[n.index()].distance_to(f.pickup) <= relay
+    });
+    let mut assigned = 0;
+    for &node in &f.sleeping_in_area {
+        let pos = f.positions[node.index()];
+        let parent = tree
+            .order()
+            .iter()
+            .copied()
+            .filter(|&b| f.positions[b.index()].distance_to(pos) <= COMM_RANGE)
+            .min_by(|&a, &b| {
+                f.positions[a.index()]
+                    .distance_sq_to(pos)
+                    .total_cmp(&f.positions[b.index()].distance_sq_to(pos))
+            });
+        if parent.is_some() {
+            assigned += 1;
+        }
+    }
+    (collector, assigned)
+}
+
+/// One query installation, indexed flavour: backbone-grid collector lookup,
+/// scratch-buffer tree build, and grid-plus-in-tree-marks parent assignment
+/// (what `install_query` does now).
+fn install_grid(f: &Fixture, scratch: &mut FloodScratch) -> (Option<NodeId>, usize) {
+    let collector = f.backbone_grid.nearest(f.pickup).map(|(i, _)| NodeId(i));
+    let root = collector.expect("fixture has backbone nodes");
+    let relay = QUERY_RADIUS + COMM_RANGE;
+    let tree = scratch.build(root, &f.neighbors, |n| {
+        f.is_backbone[n.index()] && f.positions[n.index()].distance_to(f.pickup) <= relay
+    });
+    let mut assigned = 0;
+    for &node in &f.sleeping_in_area {
+        let pos = f.positions[node.index()];
+        let parent = f
+            .all_grid
+            .nearest_filtered(pos, |i| scratch.in_last_tree(i))
+            .filter(|&(_, ppos)| ppos.distance_to(pos) <= COMM_RANGE);
+        if parent.is_some() {
+            assigned += 1;
+        }
+    }
+    scratch.recycle(tree);
+    (collector, assigned)
+}
+
+fn bench_scales(c: &mut Criterion) {
+    for nodes in [1_000usize, 10_000] {
+        let f = fixture(nodes, 7);
+        let mut scratch = FloodScratch::new();
+        // Both flavours must agree before their timings mean anything.
+        assert_eq!(install_linear(&f), install_grid(&f, &mut scratch));
+
+        let mut group = c.benchmark_group(&format!("scale_{nodes}"));
+        group.sample_size(20);
+        group.bench_function(format!("nearest_backbone_linear_{nodes}"), |b| {
+            b.iter(|| black_box(nearest_backbone_linear(&f, black_box(f.pickup))))
+        });
+        group.bench_function(format!("nearest_backbone_grid_{nodes}"), |b| {
+            b.iter(|| black_box(f.backbone_grid.nearest(black_box(f.pickup))))
+        });
+        group.bench_function(format!("query_install_linear_{nodes}"), |b| {
+            b.iter(|| black_box(install_linear(&f)))
+        });
+        group.bench_function(format!("query_install_grid_{nodes}"), |b| {
+            b.iter(|| black_box(install_grid(&f, &mut scratch)))
+        });
+
+        // Parent assignment alone (tree prebuilt): the O(sleeping × tree)
+        // scan vs the grid walk over in-tree marks.
+        let relay = QUERY_RADIUS + COMM_RANGE;
+        let root = f.backbone_grid.nearest(f.pickup).map(|(i, _)| NodeId(i));
+        let tree = scratch.build(root.unwrap(), &f.neighbors, |n| {
+            f.is_backbone[n.index()] && f.positions[n.index()].distance_to(f.pickup) <= relay
+        });
+        group.bench_function(format!("parent_assign_linear_{nodes}"), |b| {
+            b.iter(|| {
+                let mut assigned = 0;
+                for &node in &f.sleeping_in_area {
+                    let pos = f.positions[node.index()];
+                    let parent = tree
+                        .order()
+                        .iter()
+                        .copied()
+                        .filter(|&p| f.positions[p.index()].distance_to(pos) <= COMM_RANGE)
+                        .min_by(|&a, &b| {
+                            f.positions[a.index()]
+                                .distance_sq_to(pos)
+                                .total_cmp(&f.positions[b.index()].distance_sq_to(pos))
+                        });
+                    if parent.is_some() {
+                        assigned += 1;
+                    }
+                }
+                black_box(assigned)
+            })
+        });
+        group.bench_function(format!("parent_assign_grid_{nodes}"), |b| {
+            b.iter(|| {
+                let mut assigned = 0;
+                for &node in &f.sleeping_in_area {
+                    let pos = f.positions[node.index()];
+                    let parent = f
+                        .all_grid
+                        .nearest_filtered(pos, |i| scratch.in_last_tree(i))
+                        .filter(|&(_, ppos)| ppos.distance_to(pos) <= COMM_RANGE);
+                    if parent.is_some() {
+                        assigned += 1;
+                    }
+                }
+                black_box(assigned)
+            })
+        });
+        scratch.recycle(tree);
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_scales);
+criterion_main!(benches);

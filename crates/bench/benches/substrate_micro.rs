@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use wsn_geom::{Point, Rect};
+use wsn_geom::{Point, Rect, SpatialGrid};
 use wsn_net::routing::route_greedy;
 use wsn_net::{FloodTree, NeighborTable, NodeId, SleepSchedule};
 use wsn_power::ccp::{elect_backbone, CcpConfig};
@@ -73,6 +73,28 @@ fn bench_substrates(c: &mut Criterion) {
                 positions[n.index()].distance_to(pickup) <= 255.0
             }))
         })
+    });
+
+    // The per-query nearest-backbone lookup, linear scan vs spatial index,
+    // at the paper's 200-node scale (every third node as backbone). The
+    // scale_query_install bench repeats this comparison at 1k/10k nodes.
+    let backbone: Vec<usize> = (0..positions.len()).step_by(3).collect();
+    let mut backbone_grid = SpatialGrid::new(region, 105.0).unwrap();
+    for &i in &backbone {
+        backbone_grid.insert(i, positions[i]);
+    }
+    let probe = Point::new(310.0, 140.0);
+    c.bench_function("nearest_backbone_linear_200", |b| {
+        b.iter(|| {
+            black_box(backbone.iter().copied().min_by(|&a, &b| {
+                positions[a]
+                    .distance_sq_to(probe)
+                    .total_cmp(&positions[b].distance_sq_to(probe))
+            }))
+        })
+    });
+    c.bench_function("nearest_backbone_grid_200", |b| {
+        b.iter(|| black_box(backbone_grid.nearest(black_box(probe))))
     });
 
     c.bench_function("sleep_schedule_next_wake", |b| {

@@ -21,12 +21,13 @@ use crate::config::{Scenario, Scheme};
 use crate::prefetch::PrefetchTiming;
 use crate::sim::event::SimEvent;
 use crate::sim::state::QueryState;
+use std::cell::Cell;
 use std::collections::HashMap;
 use wsn_geom::{Circle, Point, SpatialGrid};
 use wsn_metrics::{QueryLog, QueryRecord};
 use wsn_mobility::{MotionProfile, UserMotion};
 use wsn_net::routing::{route_greedy, RouteError};
-use wsn_net::{Channel, FloodTree, NeighborTable, NodeId, SleepSchedule};
+use wsn_net::{Channel, FloodScratch, NeighborTable, NodeId, SleepSchedule};
 use wsn_power::PowerPlan;
 use wsn_sim::{Duration, EventQueue, SimRng, SimTime, World};
 
@@ -50,10 +51,20 @@ pub struct SimWorld {
     pub(crate) neighbors: NeighborTable,
     pub(crate) plan: PowerPlan,
     pub(crate) all_nodes_grid: SpatialGrid,
+    /// Backbone nodes only, for O(1)-ish nearest-collector lookups (proxy
+    /// attach, NP collector selection). Built once: the backbone is static.
+    pub(crate) backbone_grid: SpatialGrid,
+    /// Reusable flood-tree working state: after a few query periods, tree
+    /// construction runs entirely out of recycled buffers.
+    pub(crate) flood_scratch: FloodScratch,
     pub(crate) channel: Channel,
     pub(crate) rng: SimRng,
     pub(crate) motion: UserMotion,
     pub(crate) profiles: Vec<MotionProfile>,
+    /// Cursor into `profiles` remembering the last profile found to be in
+    /// force; profiles arrive sorted by `effective_from`, so pickup
+    /// prediction resumes from here instead of rescanning the whole history.
+    pickup_cursor: Cell<usize>,
     pub(crate) active_profile: Option<usize>,
     pub(crate) generation: u64,
     pub(crate) queries: HashMap<u64, QueryState>,
@@ -97,16 +108,32 @@ impl SimWorld {
         let schedule = scenario.sleep_schedule();
         let max_k = scenario.query.result_count();
         let node_count = positions.len();
+        debug_assert!(
+            profiles
+                .windows(2)
+                .all(|w| w[0].effective_from <= w[1].effective_from),
+            "profile sources deliver profiles sorted by effective_from"
+        );
+        // The backbone never changes after CCP election, so one static grid
+        // serves every nearest-backbone lookup for the whole run.
+        let mut backbone_grid = SpatialGrid::new(scenario.region(), scenario.radio.comm_range_m)
+            .expect("validated scenarios have a positive communication range");
+        for node in plan.backbone_nodes() {
+            backbone_grid.insert(node.index(), positions[node.index()]);
+        }
         SimWorld {
             scenario,
             positions,
             neighbors,
             plan,
             all_nodes_grid,
+            backbone_grid,
+            flood_scratch: FloodScratch::new(),
             channel,
             rng,
             motion,
             profiles,
+            pickup_cursor: Cell::new(0),
             active_profile: None,
             generation: 0,
             queries: HashMap::new(),
@@ -160,13 +187,16 @@ impl SimWorld {
     }
 
     /// The backbone node closest to `p`, if any backbone exists.
+    ///
+    /// Served by the backbone-only spatial grid: an expanding-ring search
+    /// instead of a scan over every backbone node, with the same result —
+    /// the grid's tie-break (smallest squared distance, then smallest id)
+    /// matches the first-wins `min_by` over the id-ordered backbone iterator
+    /// that this replaced.
     fn nearest_backbone(&self, p: Point) -> Option<NodeId> {
-        self.plan.backbone_nodes().min_by(|&a, &b| {
-            self.position(a)
-                .distance_sq_to(p)
-                .partial_cmp(&self.position(b).distance_sq_to(p))
-                .expect("distances are finite")
-        })
+        self.backbone_grid
+            .nearest(p)
+            .map(|(index, _)| NodeId(index))
     }
 
     /// The pickup point for query `k` as predicted by the motion profiles
@@ -178,18 +208,38 @@ impl SimWorld {
     /// describing the *current* leg until it actually takes effect.
     fn predicted_pickup(&self, k: u64) -> Point {
         let deadline = self.collection.deadline(k);
-        let latest = self.active_profile.map(|last| {
-            self.profiles[..=last]
-                .iter()
-                .enumerate()
-                .filter(|(_, p)| p.effective_from <= deadline)
-                .max_by_key(|(_, p)| p.effective_from)
-                .map(|(idx, _)| idx)
-                .unwrap_or(last)
-        });
-        match latest {
-            Some(idx) => self.profiles[idx].predicted_position(deadline),
+        match self.active_profile {
+            Some(last) => {
+                let idx = self.profile_in_force(last, deadline);
+                self.profiles[idx].predicted_position(deadline)
+            }
             None => self.motion.position_at(deadline),
+        }
+    }
+
+    /// Index of the delivered profile in force at `deadline`: among indices
+    /// `0..=last`, the one with the latest `effective_from` not exceeding the
+    /// deadline (ties resolve to the highest index), or `last` when none
+    /// qualifies yet.
+    ///
+    /// Profiles are delivered sorted by `effective_from` (asserted in
+    /// [`SimWorld::new`]), so instead of rescanning the whole history on
+    /// every call a cursor resumes from the previously found profile and
+    /// walks at most a few entries in either direction — amortised O(1) over
+    /// a run's monotone-ish deadline sequence.
+    fn profile_in_force(&self, last: usize, deadline: SimTime) -> usize {
+        let mut c = self.pickup_cursor.get().min(last);
+        while c < last && self.profiles[c + 1].effective_from <= deadline {
+            c += 1;
+        }
+        while c > 0 && self.profiles[c].effective_from > deadline {
+            c -= 1;
+        }
+        self.pickup_cursor.set(c);
+        if self.profiles[c].effective_from <= deadline {
+            c
+        } else {
+            last
         }
     }
 
@@ -422,11 +472,12 @@ impl SimWorld {
         let area = Circle::new(pickup, self.scenario.query.radius_m);
         // The tree spans backbone nodes within one communication range beyond
         // the query area so that duty-cycled nodes at the area's edge still
-        // find an in-tree relay.
+        // find an in-tree relay. Built out of the recycled scratch buffers,
+        // so steady-state tree construction allocates nothing.
         let relay_radius = self.scenario.query.radius_m + self.scenario.radio.comm_range_m;
         let positions = &self.positions;
         let plan = &self.plan;
-        let tree = FloodTree::build(collector, &self.neighbors, |n| {
+        let tree = self.flood_scratch.build(collector, &self.neighbors, |n| {
             plan.is_backbone(n) && positions[n.index()].distance_to(pickup) <= relay_radius
         });
 
@@ -435,7 +486,15 @@ impl SimWorld {
         state.setup_started = true;
 
         // Assign every duty-cycled node in the (predicted) area a parent from
-        // the tree, if one is within communication range.
+        // the tree, if one is within communication range. The candidate walk
+        // is an expanding-ring grid search filtered by the scratch's dense
+        // in-tree marks (valid until the next tree build) instead of a scan
+        // over the whole tree per sleeping node: the nearest in-tree node is
+        // the would-be parent, and if even that one is out of range, no
+        // in-tree node is. (Exact distance ties now resolve to the smallest
+        // id rather than the BFS-earlier tree node — distinguishable only
+        // for coincident/symmetric positions, which random deployments never
+        // produce.)
         let comm_range = self.scenario.radio.comm_range_m;
         let sleeping_in_area: Vec<NodeId> = self
             .all_nodes_grid
@@ -443,27 +502,25 @@ impl SimWorld {
             .map(NodeId)
             .filter(|&n| !self.plan.is_backbone(n))
             .collect();
+        let scratch = &self.flood_scratch;
         for node in sleeping_in_area {
             let pos = self.position(node);
-            let parent = state
-                .tree
-                .order
-                .iter()
-                .copied()
-                .filter(|&b| self.position(b).distance_to(pos) <= comm_range)
-                .min_by(|&a, &b| {
-                    self.position(a)
-                        .distance_sq_to(pos)
-                        .partial_cmp(&self.position(b).distance_sq_to(pos))
-                        .expect("finite distances")
-                });
+            let parent = self
+                .all_nodes_grid
+                .nearest_filtered(pos, |index| scratch.in_last_tree(index))
+                .filter(|&(_, parent_pos)| parent_pos.distance_to(pos) <= comm_range)
+                .map(|(index, _)| NodeId(index));
             if let Some(parent) = parent {
                 state.sleeping_parent.insert(node, parent);
             }
         }
 
         self.trees_built += 1;
-        self.queries.insert(k, state);
+        if let Some(stale) = self.queries.insert(k, state) {
+            // A newer generation replaced this query's tree; reuse its
+            // buffers for the next build.
+            self.flood_scratch.recycle(stale.tree);
+        }
 
         // The collector starts flooding the setup message immediately, and its
         // duty-cycled neighbours can be served from its own buffered copy.
@@ -499,7 +556,8 @@ impl SimWorld {
         let pending: Vec<NodeId> = state
             .tree
             .children_of(node)
-            .into_iter()
+            .iter()
+            .copied()
             .filter(|child| !state.has_setup(*child))
             .collect();
         if pending.is_empty() {
@@ -888,13 +946,17 @@ impl SimWorld {
                     .iter()
                     .filter(|n| state.collector_received.contains(n))
                     .count();
-                QueryRecord {
+                let record = QueryRecord {
                     seq: k,
                     deadline,
                     delivered_at: Some(deadline),
                     contributing_nodes: contributing,
                     nodes_in_area: nodes_in_area.len(),
-                }
+                };
+                // The query is scored and gone; its tree's buffers feed the
+                // next build.
+                self.flood_scratch.recycle(state.tree);
+                record
             }
         };
         self.log.push(record);

@@ -27,6 +27,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod runner;
+pub mod scale;
 
 use mobiquery::config::Scenario;
 use mobiquery::sim::{Simulation, SimulationOutput};

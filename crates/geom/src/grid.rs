@@ -161,20 +161,96 @@ impl SpatialGrid {
     }
 
     /// Id and position of the item nearest to `target`, if any.
+    ///
+    /// Ties (identical squared distance) resolve to the smallest id, so the
+    /// result is deterministic regardless of insertion order. Cost is an
+    /// expanding-ring search over grid cells: O(items near `target`) instead
+    /// of O(all items), which is what keeps per-query lookups flat as
+    /// deployments grow to tens of thousands of nodes.
     pub fn nearest(&self, target: Point) -> Option<(usize, Point)> {
-        // Simple approach: expand the search radius until something is found,
-        // falling back to a full scan. The grid is small enough that the full
-        // scan fallback is cheap and keeps the logic obviously correct.
+        self.nearest_filtered(target, |_| true)
+    }
+
+    /// Id and position of the nearest item for which `filter` returns `true`,
+    /// if any. Same tie-break contract as [`nearest`](Self::nearest):
+    /// smallest squared distance, then smallest id.
+    ///
+    /// The search visits cells in expanding Chebyshev rings around the
+    /// target's cell and stops as soon as no unvisited ring can contain a
+    /// closer item, so a filter that accepts items near `target` makes the
+    /// lookup effectively O(1) in the total item count.
+    pub fn nearest_filtered(
+        &self,
+        target: Point,
+        mut filter: impl FnMut(usize) -> bool,
+    ) -> Option<(usize, Point)> {
+        if self.positions.is_empty() {
+            return None;
+        }
+        // Cell containing the target (clamped into the region). For targets
+        // outside the region the clamped point is no farther from any stored
+        // item than the target is, so ring lower bounds below remain valid.
+        let clamped = self.region.clamp(target);
+        let tcx = (((clamped.x - self.region.min_x) / self.cell) as usize).min(self.cols - 1);
+        let tcy = (((clamped.y - self.region.min_y) / self.cell) as usize).min(self.rows - 1);
+
         let mut best: Option<(usize, Point)> = None;
         let mut best_d = f64::INFINITY;
-        for (&id, &pos) in &self.positions {
-            let d = target.distance_sq_to(pos);
-            if d < best_d {
-                best_d = d;
-                best = Some((id, pos));
+        // Enough rings to cover every cell from any starting cell.
+        let max_ring = self.cols.max(self.rows);
+        for ring in 0..=max_ring {
+            if best.is_some() {
+                // Any item in an unvisited cell of this ring sits at least
+                // (ring - 1) whole cells away along some axis.
+                let ring_min = (ring as f64 - 1.0).max(0.0) * self.cell;
+                if ring_min * ring_min > best_d {
+                    break;
+                }
             }
+            self.scan_ring(tcx, tcy, ring, |id, pos| {
+                if !filter(id) {
+                    return;
+                }
+                let d = target.distance_sq_to(pos);
+                let better = match best {
+                    None => true,
+                    Some((best_id, _)) => d < best_d || (d == best_d && id < best_id),
+                };
+                if better {
+                    best_d = d;
+                    best = Some((id, pos));
+                }
+            });
         }
         best
+    }
+
+    /// Calls `visit` for every item in the cells at Chebyshev distance `ring`
+    /// from cell `(tcx, tcy)`, skipping cells outside the grid. Rings are
+    /// disjoint, so repeated calls with increasing `ring` visit each item at
+    /// most once.
+    fn scan_ring(&self, tcx: usize, tcy: usize, ring: usize, mut visit: impl FnMut(usize, Point)) {
+        let (tcx, tcy, r) = (tcx as isize, tcy as isize, ring as isize);
+        let mut scan_cell = |cx: isize, cy: isize| {
+            if cx < 0 || cy < 0 || cx >= self.cols as isize || cy >= self.rows as isize {
+                return;
+            }
+            for &(id, pos) in &self.cells[cy as usize * self.cols + cx as usize] {
+                visit(id, pos);
+            }
+        };
+        if ring == 0 {
+            scan_cell(tcx, tcy);
+            return;
+        }
+        for cx in (tcx - r)..=(tcx + r) {
+            scan_cell(cx, tcy - r);
+            scan_cell(cx, tcy + r);
+        }
+        for cy in (tcy - r + 1)..=(tcy + r - 1) {
+            scan_cell(tcx - r, cy);
+            scan_cell(tcx + r, cy);
+        }
     }
 
     /// Iterator over every `(id, position)` pair in the grid, in unspecified order.
@@ -275,6 +351,52 @@ mod tests {
     fn nearest_on_empty_grid_is_none() {
         let g = SpatialGrid::new(Rect::square(10.0), 1.0).unwrap();
         assert!(g.nearest(Point::ORIGIN).is_none());
+    }
+
+    #[test]
+    fn nearest_breaks_exact_ties_by_smallest_id() {
+        // Two items at the same position, and a symmetric pair equidistant
+        // from the probe: the smaller id must win in both cases.
+        let g = grid_with_points(&[
+            (9, Point::new(100.0, 100.0)),
+            (4, Point::new(100.0, 100.0)),
+            (7, Point::new(200.0, 210.0)),
+            (2, Point::new(200.0, 190.0)),
+        ]);
+        assert_eq!(g.nearest(Point::new(101.0, 101.0)).unwrap().0, 4);
+        assert_eq!(g.nearest(Point::new(200.0, 200.0)).unwrap().0, 2);
+    }
+
+    #[test]
+    fn nearest_crosses_cell_boundaries() {
+        // With 105 m cells, id 0 lives in the probe's cell and id 1 in the
+        // next cell over. A probe near the shared boundary is closer to id 1,
+        // so the search must keep expanding past a ring that already holds a
+        // candidate.
+        let g = grid_with_points(&[(0, Point::new(100.0, 10.0)), (1, Point::new(106.0, 10.0))]);
+        assert_eq!(g.nearest(Point::new(5.0, 10.0)).unwrap().0, 0);
+        assert_eq!(g.nearest(Point::new(104.99, 10.0)).unwrap().0, 1);
+    }
+
+    #[test]
+    fn nearest_far_outside_region_still_finds_items() {
+        let g = grid_with_points(&[(3, Point::new(10.0, 10.0)), (5, Point::new(440.0, 440.0))]);
+        assert_eq!(g.nearest(Point::new(-5000.0, -5000.0)).unwrap().0, 3);
+        assert_eq!(g.nearest(Point::new(9000.0, 9000.0)).unwrap().0, 5);
+    }
+
+    #[test]
+    fn nearest_filtered_skips_rejected_items() {
+        let g = grid_with_points(&[
+            (0, Point::new(50.0, 50.0)),
+            (1, Point::new(60.0, 50.0)),
+            (2, Point::new(400.0, 400.0)),
+        ]);
+        let p = Point::new(49.0, 50.0);
+        assert_eq!(g.nearest_filtered(p, |_| true).unwrap().0, 0);
+        assert_eq!(g.nearest_filtered(p, |id| id != 0).unwrap().0, 1);
+        assert_eq!(g.nearest_filtered(p, |id| id == 2).unwrap().0, 2);
+        assert!(g.nearest_filtered(p, |_| false).is_none());
     }
 
     #[test]

@@ -126,4 +126,80 @@ proptest! {
         want.sort_unstable();
         prop_assert_eq!(got, want);
     }
+
+    #[test]
+    fn grid_nearest_matches_brute_force(
+        pts in proptest::collection::vec((0.0f64..450.0, 0.0f64..450.0), 1..120),
+        qx in -100.0f64..550.0,
+        qy in -100.0f64..550.0,
+    ) {
+        let mut grid = SpatialGrid::new(Rect::square(450.0), 50.0).unwrap();
+        for (i, &(x, y)) in pts.iter().enumerate() {
+            grid.insert(i, Point::new(x, y));
+        }
+        let target = Point::new(qx, qy);
+        let got = grid.nearest(target).map(|(id, _)| id);
+        prop_assert_eq!(got, brute_force_nearest(&pts, target, |_| true));
+    }
+
+    #[test]
+    fn grid_nearest_handles_exact_ties_deterministically(
+        cells in proptest::collection::vec((0usize..16, 0usize..16), 1..80),
+        qcx in 0usize..16,
+        qcy in 0usize..16,
+    ) {
+        // Snapping every coordinate to a 30 m lattice makes duplicate
+        // positions and exactly equidistant symmetric pairs common, so the
+        // smallest-distance-then-smallest-id tie-break is actually exercised.
+        let pts: Vec<(f64, f64)> = cells
+            .iter()
+            .map(|&(cx, cy)| (cx as f64 * 30.0, cy as f64 * 30.0))
+            .collect();
+        let mut grid = SpatialGrid::new(Rect::square(450.0), 50.0).unwrap();
+        for (i, &(x, y)) in pts.iter().enumerate() {
+            grid.insert(i, Point::new(x, y));
+        }
+        let target = Point::new(qcx as f64 * 30.0, qcy as f64 * 30.0);
+        let got = grid.nearest(target).map(|(id, _)| id);
+        prop_assert_eq!(got, brute_force_nearest(&pts, target, |_| true));
+    }
+
+    #[test]
+    fn grid_nearest_filtered_matches_brute_force(
+        cells in proptest::collection::vec((0usize..16, 0usize..16), 1..80),
+        qcx in 0usize..16,
+        qcy in 0usize..16,
+        keep_mod in 1usize..5,
+    ) {
+        let pts: Vec<(f64, f64)> = cells
+            .iter()
+            .map(|&(cx, cy)| (cx as f64 * 30.0, cy as f64 * 30.0))
+            .collect();
+        let mut grid = SpatialGrid::new(Rect::square(450.0), 50.0).unwrap();
+        for (i, &(x, y)) in pts.iter().enumerate() {
+            grid.insert(i, Point::new(x, y));
+        }
+        let target = Point::new(qcx as f64 * 30.0, qcy as f64 * 30.0);
+        let keep = |id: usize| id % keep_mod == 0;
+        let got = grid.nearest_filtered(target, keep).map(|(id, _)| id);
+        prop_assert_eq!(got, brute_force_nearest(&pts, target, keep));
+    }
+}
+
+/// Reference implementation for the nearest queries: linear scan with the
+/// grid's documented tie-break (smallest squared distance, then smallest id).
+fn brute_force_nearest(
+    pts: &[(f64, f64)],
+    target: Point,
+    mut keep: impl FnMut(usize) -> bool,
+) -> Option<usize> {
+    pts.iter()
+        .enumerate()
+        .filter(|(i, _)| keep(*i))
+        .min_by(|(i, &(ax, ay)), (j, &(bx, by))| {
+            let da = target.distance_sq_to(Point::new(ax, ay));
+            let db = target.distance_sq_to(Point::new(bx, by));
+            da.total_cmp(&db).then(i.cmp(j))
+        })
+        .map(|(i, _)| i)
 }

@@ -5,23 +5,43 @@
 //! first node it hears the message from as its parent, which yields a
 //! breadth-first spanning tree rooted at the collector. Sleeping nodes later
 //! attach to that tree as leaves.
+//!
+//! A fresh tree is built every query period, so this is one of the
+//! simulator's innermost loops. The tree is therefore stored as dense,
+//! index-linked `Vec`s (BFS order, parent slots, a CSR children layout and a
+//! sorted id→slot table) rather than per-tree hash maps, and
+//! [`FloodScratch`] lets a long-lived owner recycle both the BFS working
+//! state and retired tree buffers so steady-state tree construction
+//! allocates nothing.
 
 use crate::neighbors::NeighborTable;
 use crate::node::NodeId;
-use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, VecDeque};
+
+/// Sentinel slot meaning "no parent" (the root's slot entry).
+const NO_PARENT: u32 = u32::MAX;
 
 /// The spanning tree produced by flooding a message within a node subset.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Nodes are addressed externally by [`NodeId`] and internally by *slot*:
+/// the node's index in BFS discovery order. Because a BFS parent finishes
+/// discovering all of its children before the next parent starts, each
+/// node's children occupy a contiguous run of the order, which is what makes
+/// the CSR children layout possible without any per-node allocation.
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct FloodTree {
-    /// The root (collector) node.
-    pub root: NodeId,
-    /// Parent of each reached node; the root maps to `None`.
-    pub parent: HashMap<NodeId, Option<NodeId>>,
-    /// Hop distance of each reached node from the root.
-    pub hops: HashMap<NodeId, u32>,
     /// Nodes in the order the flood reaches them (BFS order, root first).
-    pub order: Vec<NodeId>,
+    order: Vec<NodeId>,
+    /// Slot of each node's parent, parallel to `order`; `NO_PARENT` for the
+    /// root.
+    parent_slot: Vec<u32>,
+    /// Hop distance from the root, parallel to `order`.
+    hop: Vec<u32>,
+    /// CSR index: the children of the node at slot `i` are
+    /// `order[children_start[i]..children_start[i + 1]]`.
+    children_start: Vec<u32>,
+    /// `(node, slot)` pairs sorted by node id, for O(log n) membership and
+    /// parent/depth lookups.
+    slots: Vec<(NodeId, u32)>,
 }
 
 impl FloodTree {
@@ -31,40 +51,26 @@ impl FloodTree {
     /// `root` is always included even if `member(root)` is `false` (the
     /// collector may sit just outside the query area, within `Rp` of the
     /// pickup point).
+    ///
+    /// This convenience constructor allocates fresh scratch state per call;
+    /// hot loops should hold a [`FloodScratch`] and call
+    /// [`FloodScratch::build`] instead.
     pub fn build(
         root: NodeId,
         neighbors: &NeighborTable,
-        mut member: impl FnMut(NodeId) -> bool,
+        member: impl FnMut(NodeId) -> bool,
     ) -> Self {
-        let mut parent = HashMap::new();
-        let mut hops = HashMap::new();
-        let mut order = Vec::new();
-        let mut queue = VecDeque::new();
+        FloodScratch::new().build(root, neighbors, member)
+    }
 
-        parent.insert(root, None);
-        hops.insert(root, 0);
-        order.push(root);
-        queue.push_back(root);
-
-        while let Some(u) = queue.pop_front() {
-            let d = hops[&u];
-            for &v in neighbors.neighbors_of(u) {
-                if parent.contains_key(&v) || !member(v) {
-                    continue;
-                }
-                parent.insert(v, Some(u));
-                hops.insert(v, d + 1);
-                order.push(v);
-                queue.push_back(v);
-            }
-        }
-
-        FloodTree {
-            root,
-            parent,
-            hops,
-            order,
-        }
+    /// The root (collector) node.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a default-constructed (empty) tree, which
+    /// [`build`](Self::build) never produces.
+    pub fn root(&self) -> NodeId {
+        self.order[0]
     }
 
     /// Number of nodes reached by the flood (including the root).
@@ -77,50 +83,166 @@ impl FloodTree {
         self.order.len() <= 1
     }
 
+    /// Nodes in the order the flood reaches them (BFS order, root first).
+    pub fn order(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// The slot (BFS discovery index) of `node`, if reached.
+    fn slot_of(&self, node: NodeId) -> Option<usize> {
+        self.slots
+            .binary_search_by_key(&node, |&(n, _)| n)
+            .ok()
+            .map(|i| self.slots[i].1 as usize)
+    }
+
     /// Returns `true` when `node` was reached by the flood.
     pub fn contains(&self, node: NodeId) -> bool {
-        self.parent.contains_key(&node)
+        self.slot_of(node).is_some()
     }
 
     /// The parent of `node`, or `None` for the root or unreached nodes.
     pub fn parent_of(&self, node: NodeId) -> Option<NodeId> {
-        self.parent.get(&node).copied().flatten()
+        let slot = self.slot_of(node)?;
+        match self.parent_slot[slot] {
+            NO_PARENT => None,
+            p => Some(self.order[p as usize]),
+        }
     }
 
     /// Hop distance of `node` from the root, if reached.
     pub fn depth_of(&self, node: NodeId) -> Option<u32> {
-        self.hops.get(&node).copied()
+        self.slot_of(node).map(|slot| self.hop[slot])
     }
 
     /// The maximum hop distance of any reached node (the tree's depth).
     pub fn depth(&self) -> u32 {
-        self.hops.values().copied().max().unwrap_or(0)
+        // BFS discovers nodes in non-decreasing hop order, so the last node
+        // is always a deepest one.
+        self.hop.last().copied().unwrap_or(0)
     }
 
-    /// The children of `node` in the tree.
-    pub fn children_of(&self, node: NodeId) -> Vec<NodeId> {
-        let mut children: Vec<NodeId> = self
-            .parent
-            .iter()
-            .filter_map(|(&child, &p)| (p == Some(node)).then_some(child))
-            .collect();
-        children.sort_unstable();
-        children
+    /// The children of `node` in the tree, in ascending id order (the
+    /// neighbour table is id-sorted, so BFS discovers them that way).
+    ///
+    /// Unreached nodes have no children.
+    pub fn children_of(&self, node: NodeId) -> &[NodeId] {
+        match self.slot_of(node) {
+            None => &[],
+            Some(slot) => {
+                let lo = self.children_start[slot] as usize;
+                let hi = self.children_start[slot + 1] as usize;
+                &self.order[lo..hi]
+            }
+        }
     }
 
     /// The path from `node` up to the root (inclusive of both), or `None`
     /// when the node was not reached.
     pub fn path_to_root(&self, node: NodeId) -> Option<Vec<NodeId>> {
-        if !self.contains(node) {
-            return None;
-        }
-        let mut path = vec![node];
-        let mut current = node;
-        while let Some(p) = self.parent_of(current) {
-            path.push(p);
-            current = p;
+        let mut slot = self.slot_of(node)?;
+        let mut path = vec![self.order[slot]];
+        while self.parent_slot[slot] != NO_PARENT {
+            slot = self.parent_slot[slot] as usize;
+            path.push(self.order[slot]);
         }
         Some(path)
+    }
+
+    /// Empties the tree, keeping every buffer's capacity for reuse.
+    fn clear(&mut self) {
+        self.order.clear();
+        self.parent_slot.clear();
+        self.hop.clear();
+        self.children_start.clear();
+        self.slots.clear();
+    }
+}
+
+/// Reusable working state for [`FloodTree`] construction: an epoch-marked
+/// visited array sized to the deployment, plus a pool of retired tree
+/// buffers.
+///
+/// One query period builds one tree; an owner that holds a `FloodScratch`
+/// and [`recycle`](Self::recycle)s trees it no longer needs reaches a steady
+/// state where tree construction performs no heap allocation at all.
+#[derive(Debug, Default)]
+pub struct FloodScratch {
+    /// `mark[n] == epoch` iff node `n` is in the most recently built tree.
+    mark: Vec<u64>,
+    /// Current build generation; bumped once per [`build`](Self::build).
+    epoch: u64,
+    /// Retired trees whose buffers the next build reuses.
+    pool: Vec<FloodTree>,
+}
+
+impl FloodScratch {
+    /// Creates empty scratch state; buffers grow on first use.
+    pub fn new() -> Self {
+        FloodScratch::default()
+    }
+
+    /// Returns a no-longer-needed tree's buffers to the pool.
+    pub fn recycle(&mut self, tree: FloodTree) {
+        self.pool.push(tree);
+    }
+
+    /// Returns `true` when `node_index` was reached by the most recent
+    /// [`build`](Self::build). Valid until the next build; used as the dense
+    /// in-tree bitset for sleeping-node parent assignment without touching
+    /// the tree's lookup table.
+    pub fn in_last_tree(&self, node_index: usize) -> bool {
+        self.mark.get(node_index).copied() == Some(self.epoch)
+    }
+
+    /// Builds the BFS flood tree rooted at `root` over the subgraph induced
+    /// by the nodes for which `member` returns `true`, reusing this scratch's
+    /// buffers. Semantics are identical to [`FloodTree::build`].
+    pub fn build(
+        &mut self,
+        root: NodeId,
+        neighbors: &NeighborTable,
+        mut member: impl FnMut(NodeId) -> bool,
+    ) -> FloodTree {
+        if self.mark.len() < neighbors.node_count() {
+            self.mark.resize(neighbors.node_count(), 0);
+        }
+        self.epoch += 1;
+        let epoch = self.epoch;
+
+        let mut tree = self.pool.pop().unwrap_or_default();
+        tree.clear();
+
+        self.mark[root.index()] = epoch;
+        tree.order.push(root);
+        tree.parent_slot.push(NO_PARENT);
+        tree.hop.push(0);
+
+        // `order` doubles as the BFS queue: nodes are processed in the order
+        // they were discovered, and each node's children are appended while
+        // it is being processed, which yields the contiguous CSR runs.
+        let mut head = 0;
+        tree.children_start.push(1);
+        while head < tree.order.len() {
+            let u = tree.order[head];
+            let d = tree.hop[head];
+            for &v in neighbors.neighbors_of(u) {
+                if self.mark[v.index()] == epoch || !member(v) {
+                    continue;
+                }
+                self.mark[v.index()] = epoch;
+                tree.order.push(v);
+                tree.parent_slot.push(head as u32);
+                tree.hop.push(d + 1);
+            }
+            tree.children_start.push(tree.order.len() as u32);
+            head += 1;
+        }
+
+        tree.slots
+            .extend(tree.order.iter().enumerate().map(|(i, &n)| (n, i as u32)));
+        tree.slots.sort_unstable_by_key(|&(n, _)| n);
+        tree
     }
 }
 
@@ -142,7 +264,8 @@ mod tests {
         assert_eq!(tree.depth(), 5);
         assert_eq!(tree.parent_of(NodeId(3)), Some(NodeId(2)));
         assert_eq!(tree.depth_of(NodeId(5)), Some(5));
-        assert_eq!(tree.order[0], NodeId(0));
+        assert_eq!(tree.order()[0], NodeId(0));
+        assert_eq!(tree.root(), NodeId(0));
     }
 
     #[test]
@@ -184,7 +307,7 @@ mod tests {
     fn children_and_path_are_consistent() {
         let table = line_table(5);
         let tree = FloodTree::build(NodeId(2), &table, |_| true);
-        assert_eq!(tree.children_of(NodeId(2)), vec![NodeId(1), NodeId(3)]);
+        assert_eq!(tree.children_of(NodeId(2)), [NodeId(1), NodeId(3)]);
         assert_eq!(
             tree.path_to_root(NodeId(0)),
             Some(vec![NodeId(0), NodeId(1), NodeId(2)])
@@ -194,7 +317,7 @@ mod tests {
             Some(&NodeId(2))
         );
         // Every non-root node's parent is one hop shallower.
-        for &n in &tree.order {
+        for &n in tree.order() {
             if let Some(p) = tree.parent_of(n) {
                 assert_eq!(tree.depth_of(n).unwrap(), tree.depth_of(p).unwrap() + 1);
             }
@@ -207,5 +330,43 @@ mod tests {
         let tree = FloodTree::build(NodeId(0), &table, |n| n.index() < 2);
         assert_eq!(tree.path_to_root(NodeId(3)), None);
         assert_eq!(tree.depth_of(NodeId(3)), None);
+        assert!(tree.children_of(NodeId(3)).is_empty());
+    }
+
+    #[test]
+    fn every_child_run_is_sorted_and_complete() {
+        let table = line_table(7);
+        let tree = FloodTree::build(NodeId(3), &table, |_| true);
+        // Union of all children plus the root is exactly the tree.
+        let mut seen = vec![tree.root()];
+        for &n in tree.order() {
+            let children = tree.children_of(n);
+            assert!(children.windows(2).all(|w| w[0] < w[1]), "children sorted");
+            for &c in children {
+                assert_eq!(tree.parent_of(c), Some(n));
+                seen.push(c);
+            }
+        }
+        seen.sort_unstable();
+        let mut all = tree.order().to_vec();
+        all.sort_unstable();
+        assert_eq!(seen, all);
+    }
+
+    #[test]
+    fn scratch_reuse_marks_and_recycling() {
+        let table = line_table(6);
+        let mut scratch = FloodScratch::new();
+        let a = scratch.build(NodeId(0), &table, |n| n.index() < 3);
+        assert!(scratch.in_last_tree(2));
+        assert!(!scratch.in_last_tree(4));
+        scratch.recycle(a);
+        // The next build reuses the recycled buffers and resets the marks.
+        let b = scratch.build(NodeId(5), &table, |n| n.index() >= 3);
+        assert!(scratch.in_last_tree(4));
+        assert!(!scratch.in_last_tree(2));
+        assert_eq!(b.root(), NodeId(5));
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.parent_of(NodeId(3)), Some(NodeId(4)));
     }
 }

@@ -36,7 +36,7 @@ pub mod radio;
 pub mod routing;
 
 pub use channel::Channel;
-pub use flood::FloodTree;
+pub use flood::{FloodScratch, FloodTree};
 pub use mac::{ContentionTracker, MacConfig};
 pub use neighbors::NeighborTable;
 pub use node::{NodeId, NodeRole};

@@ -32,6 +32,11 @@ Options:
                      verify both give identical results, and write the timings
                      as JSON to PATH (the BENCH_repro.json trajectory format);
                      not combinable with --out/--format
+  --scale N1,N2,...  with --bench: also sweep deployment sizes (e.g.
+                     1000,2000,5000,10000,20000 at constant density), timing a
+                     full run of both schemes plus an indexed-vs-linear
+                     nearest-backbone micro-comparison per size, recorded in
+                     the bench document's \"scale\" section
   -h, --help         print this help and exit";
 
 const ALL_TARGETS: [&str; 6] = ["analysis", "fig4", "fig5", "fig6", "fig7", "fig8"];
@@ -109,8 +114,13 @@ fn results_json(targets: &[String], config: &ExperimentConfig) -> Option<JsonVal
 }
 
 /// The `--bench` document: per-target wall-clock, serial vs parallel, plus a
-/// determinism cross-check that both job counts produced identical results.
-fn bench_json(targets: &[String], config: &ExperimentConfig) -> Option<JsonValue> {
+/// determinism cross-check that both job counts produced identical results,
+/// and (when `--scale` is given) the deployment-size sweep.
+fn bench_json(
+    targets: &[String],
+    config: &ExperimentConfig,
+    scales: &[usize],
+) -> Option<JsonValue> {
     let mut figures = Vec::new();
     for target in targets {
         let serial_config = config.with_jobs(1);
@@ -141,13 +151,19 @@ fn bench_json(targets: &[String], config: &ExperimentConfig) -> Option<JsonValue
                 .with("speedup", round_ms(serial_ms / parallel_ms.max(1e-9))),
         );
     }
+    let scale = if scales.is_empty() {
+        JsonValue::Array(Vec::new())
+    } else {
+        mobiquery_experiments::scale::run(scales, config.base_seed)
+    };
     Some(
         JsonValue::object()
-            .with("schema", "mobiquery-repro/bench/v1")
+            .with("schema", "mobiquery-repro/bench/v2")
             .with("mode", if config.quick { "quick" } else { "full" })
             .with("runs", config.runs)
             .with("parallel_jobs", config.jobs)
-            .with("figures", figures),
+            .with("figures", figures)
+            .with("scale", scale),
     )
 }
 
@@ -178,6 +194,7 @@ fn main() -> ExitCode {
     let mut format: Option<Format> = None;
     let mut out_path: Option<String> = None;
     let mut bench_path: Option<String> = None;
+    let mut scales: Vec<usize> = Vec::new();
     let mut targets: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -205,6 +222,20 @@ fn main() -> ExitCode {
                 Some(path) => bench_path = Some(path),
                 None => return bad_usage(),
             },
+            "--scale" => {
+                let parsed: Option<Vec<usize>> = args
+                    .next()
+                    .map(|list| {
+                        list.split(',')
+                            .map(|n| n.trim().parse::<usize>().ok().filter(|&n| n > 0))
+                            .collect()
+                    })
+                    .unwrap_or(None);
+                match parsed {
+                    Some(list) if !list.is_empty() => scales = list,
+                    _ => return bad_usage(),
+                }
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -248,10 +279,14 @@ fn main() -> ExitCode {
             eprintln!("repro: --bench cannot be combined with --out or --format\n");
             return bad_usage();
         }
-        let Some(doc) = bench_json(&expanded, &config) else {
+        let Some(doc) = bench_json(&expanded, &config, &scales) else {
             return bad_usage();
         };
         return emit(&doc.to_pretty_string(), Some(&path));
+    }
+    if !scales.is_empty() {
+        eprintln!("repro: --scale requires --bench (the sweep lands in the bench document)\n");
+        return bad_usage();
     }
 
     let content = match format.unwrap_or(Format::Text) {

@@ -1,0 +1,67 @@
+//! Golden-snapshot gate: `repro --quick --format json fig4` must keep
+//! producing byte-identical output.
+//!
+//! The spatial-index work (and any future performance work) is only allowed
+//! to change *speed*, never *results* — the simulation is a pure function of
+//! its scenario. This test pins the full CLI path (argument parsing, the
+//! trial planner, JSON rendering) against a committed snapshot so a hot-path
+//! "optimization" that perturbs tie-breaks, RNG draw order or float
+//! evaluation order fails CI instead of silently shifting every figure.
+//!
+//! To update the snapshot after a *deliberate* behaviour change:
+//!
+//! ```text
+//! cargo run --release --bin repro -- --quick --format json \
+//!     --out tests/golden/fig4_quick.json fig4
+//! ```
+
+use std::process::Command;
+
+const GOLDEN: &str = include_str!("golden/fig4_quick.json");
+
+#[test]
+fn repro_quick_fig4_json_matches_golden_snapshot() {
+    let output = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["--quick", "--format", "json", "fig4"])
+        .output()
+        .expect("repro binary runs");
+    assert!(
+        output.status.success(),
+        "repro exited with {:?}: {}",
+        output.status,
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let got = String::from_utf8(output.stdout).expect("repro emits UTF-8 JSON");
+    if got != GOLDEN {
+        // Show the first divergent line: the full documents are hundreds of
+        // lines and the interesting part is where they split.
+        let line = got
+            .lines()
+            .zip(GOLDEN.lines())
+            .position(|(a, b)| a != b)
+            .map(|i| i + 1)
+            .unwrap_or_else(|| got.lines().count().min(GOLDEN.lines().count()) + 1);
+        panic!(
+            "fig4 quick JSON diverged from tests/golden/fig4_quick.json at line {line}.\n\
+             Performance work must not change simulation results; if this \
+             change is deliberate, regenerate the snapshot (see this test's \
+             module docs)."
+        );
+    }
+}
+
+#[test]
+fn repro_quick_fig4_is_jobs_invariant() {
+    // The golden bytes must not depend on the worker count either; this is
+    // the same property ci.sh checks with a jobs-1-vs-4 diff, pinned here so
+    // `cargo test` alone exercises it.
+    let run = |jobs: &str| {
+        let output = Command::new(env!("CARGO_BIN_EXE_repro"))
+            .args(["--quick", "--format", "json", "--jobs", jobs, "fig4"])
+            .output()
+            .expect("repro binary runs");
+        assert!(output.status.success());
+        output.stdout
+    };
+    assert_eq!(run("1"), run("3"), "--jobs must never change results");
+}
