@@ -21,8 +21,10 @@ run cargo test -q
 run cargo test -q --workspace --exclude mobiquery-repro
 
 # Benches must keep compiling (clippy lints them, but only --no-run proves
-# the harness links).
+# the harness links). The raster-vs-reference election bench is named
+# explicitly so a manifest slip can't silently drop it from the suite.
 run cargo bench --no-run -q
+run cargo bench --no-run -q -p mobiquery-bench --bench ccp_election
 
 # The examples and the CLI must stay runnable, not just compilable.
 for ex in quickstart firefighter rescue_robot duty_cycle_tuning parallel_sweep; do
@@ -48,5 +50,10 @@ run cmp target/repro-jobs1.json target/repro-jobs4.json
 #       --bench BENCH_repro.json --scale 1000,2000,5000,10000,20000 all
 run cargo run --release -q --bin repro -- --quick \
     --bench target/BENCH_repro.json --scale 1000,2000 all
+
+# bench/v3 sanity: schema, host metadata, per-phase setup breakdown and the
+# raster-election regression bound, all enforced by the script shared with
+# the hosted workflow.
+run python3 scripts/check_bench_v3.py target/BENCH_repro.json
 
 echo "==> CI green"

@@ -1,0 +1,71 @@
+//! Raster vs reference CCP backbone election at deployment scale.
+//!
+//! The election used to dominate setup wall-clock (~50× the event loop at
+//! 20 000 nodes) because every candidate demotion re-ran a grid range query
+//! per sample point. The incremental [`CoverageRaster`] builds per-point
+//! coverage counts once and demotes with O(1) lookups; this bench pins both
+//! the speedup and — before timing anything — the bit-identical roles the
+//! two implementations must produce for the same seed.
+//!
+//! [`CoverageRaster`]: wsn_power::CoverageRaster
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wsn_geom::{Point, Rect};
+use wsn_power::ccp::{elect_backbone, elect_backbone_reference, CcpConfig};
+use wsn_sim::SimRng;
+
+/// Density-preserving deployment: the region side grows with √nodes so the
+/// backbone fraction matches the paper's 200-nodes-per-450-m-square setting.
+fn deployment(nodes: usize, seed: u64) -> (Vec<Point>, Rect) {
+    let side = 450.0 * (nodes as f64 / 200.0).sqrt();
+    let mut rng = SimRng::seed_from_u64(seed);
+    let positions = (0..nodes)
+        .map(|_| Point::new(rng.gen_range_f64(0.0, side), rng.gen_range_f64(0.0, side)))
+        .collect();
+    (positions, Rect::square(side))
+}
+
+fn bench_elections(c: &mut Criterion) {
+    for nodes in [1_000usize, 10_000] {
+        let (positions, region) = deployment(nodes, 7);
+        let cfg = CcpConfig::paper_default();
+
+        // The timings only mean anything if both paths elect the same
+        // backbone, node for node.
+        let fast = elect_backbone(&positions, region, &cfg, &mut SimRng::seed_from_u64(11));
+        let reference =
+            elect_backbone_reference(&positions, region, &cfg, &mut SimRng::seed_from_u64(11));
+        assert_eq!(
+            fast, reference,
+            "raster and reference elections diverged at {nodes} nodes"
+        );
+
+        let mut group = c.benchmark_group(&format!("ccp_election_{nodes}"));
+        group.sample_size(10);
+        group.bench_function(format!("raster_{nodes}"), |b| {
+            b.iter(|| {
+                black_box(elect_backbone(
+                    &positions,
+                    region,
+                    &cfg,
+                    &mut SimRng::seed_from_u64(11),
+                ))
+            })
+        });
+        group.bench_function(format!("reference_{nodes}"), |b| {
+            b.iter(|| {
+                black_box(elect_backbone_reference(
+                    &positions,
+                    region,
+                    &cfg,
+                    &mut SimRng::seed_from_u64(11),
+                ))
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_elections);
+criterion_main!(benches);

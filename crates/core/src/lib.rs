@@ -69,4 +69,4 @@ pub mod sim;
 pub use config::{Scenario, Scheme};
 pub use error::ConfigError;
 pub use query::{AggregateKind, QuerySpec};
-pub use sim::{Simulation, SimulationOutput};
+pub use sim::{SetupBreakdown, Simulation, SimulationOutput};

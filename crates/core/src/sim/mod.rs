@@ -23,17 +23,47 @@ pub use world::SimWorld;
 
 use crate::config::{Scenario, Scheme};
 use crate::error::ConfigError;
-use wsn_geom::{Point, SpatialGrid};
+use std::time::Instant;
+use wsn_geom::Point;
 use wsn_net::{Channel, NeighborTable, NodeId, RadioState, SleepSchedule};
 use wsn_power::ccp::elect_backbone;
 use wsn_power::{EnergyLedger, PowerPlan};
 use wsn_sim::{Duration, Engine, SimRng, SimTime};
+
+/// Wall-clock breakdown of the setup phases of [`Simulation::new`], in
+/// milliseconds.
+///
+/// Deployment setup used to dwarf the event loop at scale (~50× at 20 000
+/// nodes before the coverage raster), so the scale benchmarks record where
+/// setup time actually goes instead of a single opaque `setup_ms`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SetupBreakdown {
+    /// Node placement, the all-nodes spatial grid, and the backbone
+    /// neighbour table (the table is built just after the election, since it
+    /// only needs backbone adjacency, but its cost is accounted here).
+    pub neighbor_ms: f64,
+    /// CCP backbone election: the coverage-raster build and the greedy
+    /// demotion pass.
+    pub ccp_ms: f64,
+    /// Everything downstream of the election: power-plan packaging, mobility
+    /// and motion-profile generation, channel and world assembly, and event
+    /// seeding.
+    pub plan_ms: f64,
+}
+
+impl SetupBreakdown {
+    /// Total setup wall-clock across all phases.
+    pub fn total_ms(&self) -> f64 {
+        self.neighbor_ms + self.ccp_ms + self.plan_ms
+    }
+}
 
 /// A fully constructed simulation, ready to run.
 #[derive(Debug)]
 pub struct Simulation {
     engine: Engine<SimWorld>,
     scenario: Scenario,
+    setup: SetupBreakdown,
 }
 
 impl Simulation {
@@ -46,6 +76,8 @@ impl Simulation {
         scenario.validate()?;
         let mut rng = SimRng::seed_from_u64(scenario.seed);
         let region = scenario.region();
+        let phase_start = Instant::now();
+        let ms_since = |start: Instant| start.elapsed().as_secs_f64() * 1e3;
 
         // --- Deployment -------------------------------------------------
         let mut placement_rng = rng.fork(1);
@@ -57,16 +89,31 @@ impl Simulation {
                 )
             })
             .collect();
-        let neighbors = NeighborTable::build(&positions, region, scenario.radio.comm_range_m);
-        let mut all_nodes_grid = SpatialGrid::new(region, scenario.radio.comm_range_m)
+        let comm_range = scenario.radio.comm_range_m;
+        let mut all_nodes_grid = wsn_geom::SpatialGrid::new(region, comm_range)
             .map_err(|e| ConfigError::new(e.to_string()))?;
+        all_nodes_grid.reserve(positions.len());
         for (i, &p) in positions.iter().enumerate() {
             all_nodes_grid.insert(i, p);
         }
+        let neighbor_grid_ms = ms_since(phase_start);
 
         // --- Power management (CCP backbone + PSM schedule) --------------
+        let phase_start = Instant::now();
         let mut ccp_rng = rng.fork(2);
         let roles = elect_backbone(&positions, region, &scenario.ccp, &mut ccp_rng);
+        let ccp_ms = ms_since(phase_start);
+
+        // The event loop only walks backbone adjacency (every flood and
+        // routing hop filters on `is_backbone`), so the table is built among
+        // the elected backbone — a fraction of the deployment — with results
+        // identical to filtering the full table.
+        let phase_start = Instant::now();
+        let neighbors =
+            NeighborTable::build_among(&positions, region, comm_range, |i| roles[i].is_backbone());
+        let neighbor_ms = neighbor_grid_ms + ms_since(phase_start);
+
+        let phase_start = Instant::now();
         let plan = PowerPlan::new(roles, scenario.sleep_schedule());
 
         // --- Mobility and motion profiles --------------------------------
@@ -92,7 +139,16 @@ impl Simulation {
 
         let mut engine = Engine::new(world);
         Self::seed_events(&mut engine, &scenario);
-        Ok(Simulation { engine, scenario })
+        let setup = SetupBreakdown {
+            neighbor_ms,
+            ccp_ms,
+            plan_ms: ms_since(phase_start),
+        };
+        Ok(Simulation {
+            engine,
+            scenario,
+            setup,
+        })
     }
 
     /// Seeds the initial events: one deadline per query, profile deliveries
@@ -130,6 +186,13 @@ impl Simulation {
     /// The scenario this simulation was built from.
     pub fn scenario(&self) -> &Scenario {
         &self.scenario
+    }
+
+    /// Wall-clock breakdown of the setup phases [`Simulation::new`] just ran
+    /// (a timing observation, not part of the deterministic simulation
+    /// state).
+    pub fn setup_breakdown(&self) -> SetupBreakdown {
+        self.setup
     }
 
     /// Read access to the world (useful in tests).

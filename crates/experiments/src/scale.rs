@@ -5,15 +5,17 @@
 //! paper's 200 nodes per 450 m × 450 m field):
 //!
 //! * **End-to-end wall-clock** of a full simulation run (setup and event
-//!   loop timed separately) for both the just-in-time prefetching scheme and
-//!   the No-Prefetching baseline — the numbers the spatial-index work is
-//!   meant to keep from growing superlinearly.
+//!   loop timed separately, with setup further broken down into
+//!   `neighbor_ms` / `ccp_ms` / `plan_ms`) for both the just-in-time
+//!   prefetching scheme and the No-Prefetching baseline — the numbers the
+//!   spatial-index and coverage-raster work are meant to keep from growing
+//!   superlinearly.
 //! * **A nearest-backbone micro-comparison**: the same lookup served by a
 //!   linear scan over every backbone node (the pre-index implementation)
 //!   versus the backbone [`SpatialGrid`]'s expanding-ring search, reported
 //!   as ns/lookup and a speedup factor.
 //!
-//! Results feed the `scale` section of the `mobiquery-repro/bench/v2`
+//! Results feed the `scale` section of the `mobiquery-repro/bench/v3`
 //! document (`BENCH_repro.json`). Timings are machine-dependent by nature;
 //! unlike `--format json` output they are a trajectory snapshot, not a
 //! determinism artifact.
@@ -39,18 +41,27 @@ pub fn scale_scenario(nodes: usize, scheme: Scheme, seed: u64) -> Scenario {
         .with_seed(seed)
 }
 
-/// Wall-clock of one scheme at one scale: build and run split out, plus the
-/// event count as a sanity anchor that the run actually did protocol work.
+/// Wall-clock of one scheme at one scale: build and run split out — with the
+/// setup side broken down into its phases — plus the event count as a sanity
+/// anchor that the run actually did protocol work.
 fn timed_run(nodes: usize, scheme: Scheme, seed: u64) -> JsonValue {
     let scenario = scale_scenario(nodes, scheme, seed);
     let start = Instant::now();
     let sim = Simulation::new(scenario).expect("scale scenarios are valid by construction");
     let setup_ms = start.elapsed().as_secs_f64() * 1e3;
+    let phases = sim.setup_breakdown();
     let start = Instant::now();
     let out = sim.run();
     let run_ms = start.elapsed().as_secs_f64() * 1e3;
     JsonValue::object()
         .with("setup_ms", round2(setup_ms))
+        .with(
+            "setup",
+            JsonValue::object()
+                .with("neighbor_ms", round2(phases.neighbor_ms))
+                .with("ccp_ms", round2(phases.ccp_ms))
+                .with("plan_ms", round2(phases.plan_ms)),
+        )
         .with("run_ms", round2(run_ms))
         .with("events", out.events_processed)
         .with("trees_built", out.trees_built)
@@ -117,7 +128,7 @@ fn lookup_comparison(nodes: usize, seed: u64) -> JsonValue {
 }
 
 /// Runs the sweep over `scales` deployment sizes and returns the `scale`
-/// array of the bench/v2 document.
+/// array of the bench/v3 document.
 pub fn run(scales: &[usize], base_seed: u64) -> JsonValue {
     let mut entries = Vec::new();
     for &nodes in scales {
@@ -163,5 +174,13 @@ mod tests {
         assert!(text.contains("\"jit\""));
         assert!(text.contains("\"np\""));
         assert!(text.contains("\"nearest_backbone\""));
+        // The bench/v3 setup breakdown must be present for every scheme.
+        for field in ["\"setup\"", "\"neighbor_ms\"", "\"ccp_ms\"", "\"plan_ms\""] {
+            assert_eq!(
+                text.matches(field).count(),
+                2,
+                "{field} must appear once per scheme"
+            );
+        }
     }
 }

@@ -11,6 +11,14 @@ pub struct GridError {
     kind: &'static str,
 }
 
+impl GridError {
+    /// Creates an error with the given description (shared with the other
+    /// grid-like structures in this crate, e.g. [`crate::Lattice`]).
+    pub(crate) fn new(kind: &'static str) -> Self {
+        GridError { kind }
+    }
+}
+
 impl fmt::Display for GridError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "invalid spatial grid parameter: {}", self.kind)
@@ -96,14 +104,20 @@ impl SpatialGrid {
         cy * self.cols + cx
     }
 
+    /// Reserves capacity for at least `additional` more items, so bulk loads
+    /// (one insert per node of a deployment) do not rehash repeatedly.
+    pub fn reserve(&mut self, additional: usize) {
+        self.positions.reserve(additional);
+    }
+
     /// Inserts an item, or moves it if it is already present.
     pub fn insert(&mut self, id: usize, position: Point) {
-        if self.positions.contains_key(&id) {
-            self.remove(id);
+        if let Some(prev) = self.positions.insert(id, position) {
+            let idx = self.cell_index(prev);
+            self.cells[idx].retain(|(other, _)| *other != id);
         }
         let idx = self.cell_index(position);
         self.cells[idx].push((id, position));
-        self.positions.insert(id, position);
     }
 
     /// Removes an item. Returns its last position if it was present.

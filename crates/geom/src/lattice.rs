@@ -1,0 +1,323 @@
+//! A dense sample-point lattice over a rectangular region, plus a dense
+//! per-point value raster on top of it.
+//!
+//! The CCP coverage check evaluates predicates on a regular lattice of sample
+//! points anchored at the deployment region's origin. [`Lattice`] is the
+//! canonical definition of that point set: point `(ix, iy)` sits at
+//! `origin + (ix · spacing, iy · spacing)`, computed by *index
+//! multiplication*, never by accumulating `+= spacing` — so every consumer
+//! (the incremental coverage raster and the reference per-point
+//! implementation alike) evaluates bit-identical coordinates for the same
+//! logical sample point, whatever order it visits them in.
+//!
+//! [`DenseRaster`] pairs a lattice with one value per sample point in a flat
+//! `Vec`, which is what makes per-point counters O(1) to read and update.
+
+use crate::{GridError, Point, Rect};
+
+/// A regular lattice of sample points covering a rectangle.
+///
+/// Points are spaced `spacing` apart along both axes, with the point at
+/// index `(0, 0)` on the rectangle's minimum corner; indices grow rightwards
+/// and upwards. Every point with `origin + i · spacing ≤ max` along both
+/// axes is part of the lattice (boundaries inclusive).
+///
+/// ```
+/// use wsn_geom::{Lattice, Point, Rect};
+///
+/// let lat = Lattice::new(Rect::square(10.0), 5.0)?;
+/// assert_eq!((lat.cols(), lat.rows()), (3, 3));
+/// assert_eq!(lat.point(2, 1), Point::new(10.0, 5.0));
+/// # Ok::<(), wsn_geom::GridError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Lattice {
+    region: Rect,
+    spacing: f64,
+    cols: usize,
+    rows: usize,
+}
+
+impl Lattice {
+    /// Creates the lattice covering `region` with the given point spacing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError`] if `spacing` is not strictly positive and finite.
+    pub fn new(region: Rect, spacing: f64) -> Result<Self, GridError> {
+        if !(spacing.is_finite() && spacing > 0.0) {
+            return Err(GridError::new(
+                "lattice spacing must be positive and finite",
+            ));
+        }
+        let cols = (region.width() / spacing).floor() as usize + 1;
+        let rows = (region.height() / spacing).floor() as usize + 1;
+        Ok(Lattice {
+            region,
+            spacing,
+            cols,
+            rows,
+        })
+    }
+
+    /// The region this lattice samples.
+    pub fn region(&self) -> Rect {
+        self.region
+    }
+
+    /// Distance between adjacent sample points.
+    pub fn spacing(&self) -> f64 {
+        self.spacing
+    }
+
+    /// Number of sample points along the x axis.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of sample points along the y axis.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Total number of sample points.
+    pub fn len(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// Returns `true` when the lattice has no sample points (never the case
+    /// for a successfully constructed lattice, but part of the `len`/`is_empty`
+    /// API-guideline pair).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Coordinates of sample point `(ix, iy)`.
+    ///
+    /// Computed as `origin + index · spacing` in one multiplication per axis,
+    /// the canonical (bit-reproducible) definition of the point set.
+    pub fn point(&self, ix: usize, iy: usize) -> Point {
+        Point::new(
+            self.region.min_x + ix as f64 * self.spacing,
+            self.region.min_y + iy as f64 * self.spacing,
+        )
+    }
+
+    /// Flat index of sample point `(ix, iy)` (row-major).
+    pub fn index(&self, ix: usize, iy: usize) -> usize {
+        debug_assert!(ix < self.cols && iy < self.rows);
+        iy * self.cols + ix
+    }
+
+    /// Inclusive column-index range of sample points whose x coordinate lies
+    /// in `[min_x, max_x]`, clipped to the lattice. `None` when the interval
+    /// misses every column.
+    pub fn col_range(&self, min_x: f64, max_x: f64) -> Option<(usize, usize)> {
+        Self::axis_range(min_x, max_x, self.region.min_x, self.spacing, self.cols)
+    }
+
+    /// Inclusive row-index range of sample points whose y coordinate lies in
+    /// `[min_y, max_y]`, clipped to the lattice. `None` when the interval
+    /// misses every row.
+    pub fn row_range(&self, min_y: f64, max_y: f64) -> Option<(usize, usize)> {
+        Self::axis_range(min_y, max_y, self.region.min_y, self.spacing, self.rows)
+    }
+
+    fn axis_range(
+        min_v: f64,
+        max_v: f64,
+        origin: f64,
+        spacing: f64,
+        count: usize,
+    ) -> Option<(usize, usize)> {
+        if max_v < min_v || max_v < origin {
+            return None;
+        }
+        let lo = ((min_v - origin) / spacing).ceil().max(0.0) as usize;
+        let hi_f = ((max_v - origin) / spacing).floor();
+        if hi_f < 0.0 {
+            return None;
+        }
+        let hi = (hi_f as usize).min(count - 1);
+        if lo > hi {
+            return None;
+        }
+        Some((lo, hi))
+    }
+}
+
+/// One value per sample point of a [`Lattice`], stored densely.
+///
+/// ```
+/// use wsn_geom::{DenseRaster, Lattice, Rect};
+///
+/// let lat = Lattice::new(Rect::square(10.0), 5.0)?;
+/// let mut counts: DenseRaster<u32> = DenseRaster::new(lat);
+/// *counts.get_mut(1, 2) += 1;
+/// assert_eq!(counts.get(1, 2), 1);
+/// assert_eq!(counts.get(0, 0), 0);
+/// # Ok::<(), wsn_geom::GridError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DenseRaster<T> {
+    lattice: Lattice,
+    values: Vec<T>,
+}
+
+impl<T: Copy + Default> DenseRaster<T> {
+    /// Creates a raster over `lattice` with every value defaulted.
+    pub fn new(lattice: Lattice) -> Self {
+        DenseRaster {
+            lattice,
+            values: vec![T::default(); lattice.len()],
+        }
+    }
+
+    /// The underlying lattice geometry.
+    pub fn lattice(&self) -> &Lattice {
+        &self.lattice
+    }
+
+    /// Value at sample point `(ix, iy)`.
+    pub fn get(&self, ix: usize, iy: usize) -> T {
+        self.values[self.lattice.index(ix, iy)]
+    }
+
+    /// Mutable value at sample point `(ix, iy)`.
+    pub fn get_mut(&mut self, ix: usize, iy: usize) -> &mut T {
+        let idx = self.lattice.index(ix, iy);
+        &mut self.values[idx]
+    }
+
+    /// The whole row `iy` as a slice, columns `0..cols`.
+    pub fn row(&self, iy: usize) -> &[T] {
+        let start = self.lattice.index(0, iy);
+        &self.values[start..start + self.lattice.cols()]
+    }
+
+    /// The whole row `iy` as a mutable slice.
+    pub fn row_mut(&mut self, iy: usize) -> &mut [T] {
+        let start = self.lattice.index(0, iy);
+        let cols = self.lattice.cols();
+        &mut self.values[start..start + cols]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalid_spacing_is_an_error() {
+        assert!(Lattice::new(Rect::square(10.0), 0.0).is_err());
+        assert!(Lattice::new(Rect::square(10.0), -1.0).is_err());
+        assert!(Lattice::new(Rect::square(10.0), f64::NAN).is_err());
+        assert!(Lattice::new(Rect::square(10.0), f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn boundaries_are_inclusive() {
+        let lat = Lattice::new(Rect::square(10.0), 5.0).unwrap();
+        assert_eq!(lat.cols(), 3);
+        assert_eq!(lat.rows(), 3);
+        assert_eq!(lat.len(), 9);
+        assert_eq!(lat.point(0, 0), Point::new(0.0, 0.0));
+        assert_eq!(lat.point(2, 2), Point::new(10.0, 10.0));
+    }
+
+    #[test]
+    fn spacing_wider_than_region_keeps_the_origin_point() {
+        let lat = Lattice::new(Rect::square(3.0), 10.0).unwrap();
+        assert_eq!((lat.cols(), lat.rows()), (1, 1));
+        assert_eq!(lat.point(0, 0), Point::new(0.0, 0.0));
+    }
+
+    #[test]
+    fn matches_the_legacy_accumulation_enumeration() {
+        // The CCP reference used to enumerate sample points by `x += spacing`
+        // from an aligned start; the lattice must produce the same set.
+        let region = Rect::new(-3.0, 2.0, 47.0, 33.0);
+        let spacing = 2.5;
+        let lat = Lattice::new(region, spacing).unwrap();
+        let mut legacy = Vec::new();
+        let mut y = region.min_y;
+        while y <= region.max_y {
+            let mut x = region.min_x;
+            while x <= region.max_x {
+                legacy.push(Point::new(x, y));
+                x += spacing;
+            }
+            y += spacing;
+        }
+        let mut ours = Vec::new();
+        for iy in 0..lat.rows() {
+            for ix in 0..lat.cols() {
+                ours.push(lat.point(ix, iy));
+            }
+        }
+        assert_eq!(ours, legacy);
+    }
+
+    #[test]
+    fn col_range_clips_to_the_lattice() {
+        let lat = Lattice::new(Rect::square(20.0), 5.0).unwrap(); // cols at 0,5,10,15,20
+        assert_eq!(lat.col_range(-100.0, 100.0), Some((0, 4)));
+        assert_eq!(lat.col_range(5.0, 15.0), Some((1, 3)));
+        assert_eq!(lat.col_range(5.1, 14.9), Some((2, 2)));
+        assert_eq!(lat.col_range(5.1, 9.9), None);
+        assert_eq!(lat.col_range(-10.0, -1.0), None);
+        assert_eq!(lat.col_range(21.0, 30.0), None);
+        assert_eq!(lat.col_range(30.0, 21.0), None);
+    }
+
+    #[test]
+    fn range_matches_the_legacy_aligned_while_loop() {
+        // The reference's `align` + `while v <= max` idiom and `col_range`
+        // must select the same columns for arbitrary real intervals.
+        let region = Rect::square(100.0);
+        let spacing = 2.5;
+        let lat = Lattice::new(region, spacing).unwrap();
+        let mut state: u64 = 99;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) * 120.0 - 10.0
+        };
+        for _ in 0..200 {
+            let (a, b) = (next(), next());
+            let (min_v, max_v) = if a <= b { (a, b) } else { (b, a) };
+            let min_v = min_v.max(region.min_x);
+            let max_v = max_v.min(region.max_x);
+            let mut legacy = Vec::new();
+            if min_v <= max_v {
+                let start = region.min_x + ((min_v - region.min_x) / spacing).ceil() * spacing;
+                let mut v = start;
+                while v <= max_v {
+                    legacy.push(v);
+                    v += spacing;
+                }
+            }
+            let ours: Vec<f64> = match lat.col_range(min_v, max_v) {
+                None => Vec::new(),
+                Some((lo, hi)) => (lo..=hi).map(|ix| lat.point(ix, 0).x).collect(),
+            };
+            assert_eq!(ours, legacy, "interval [{min_v}, {max_v}]");
+        }
+    }
+
+    #[test]
+    fn dense_raster_reads_and_writes_per_point() {
+        let lat = Lattice::new(Rect::square(10.0), 5.0).unwrap();
+        let mut r: DenseRaster<u32> = DenseRaster::new(lat);
+        for iy in 0..lat.rows() {
+            for ix in 0..lat.cols() {
+                *r.get_mut(ix, iy) += (ix + iy) as u32;
+            }
+        }
+        assert_eq!(r.get(2, 1), 3);
+        assert_eq!(r.row(1), &[1, 2, 3]);
+        r.row_mut(1)[0] = 9;
+        assert_eq!(r.get(0, 1), 9);
+    }
+}

@@ -22,6 +22,7 @@
 
 mod circle;
 mod grid;
+mod lattice;
 mod point;
 mod rect;
 mod segment;
@@ -29,6 +30,7 @@ mod vector;
 
 pub use circle::Circle;
 pub use grid::{GridError, SpatialGrid};
+pub use lattice::{DenseRaster, Lattice};
 pub use point::Point;
 pub use rect::Rect;
 pub use segment::Segment;

@@ -1,7 +1,7 @@
 //! Neighbour tables: which nodes are within communication range of which.
 
 use crate::node::NodeId;
-use wsn_geom::{Point, Rect, SpatialGrid};
+use wsn_geom::{Point, Rect};
 
 /// A static neighbour table for a fixed deployment.
 ///
@@ -26,7 +26,12 @@ use wsn_geom::{Point, Rect, SpatialGrid};
 /// ```
 #[derive(Debug, Clone)]
 pub struct NeighborTable {
-    neighbors: Vec<Vec<NodeId>>,
+    /// CSR layout: the neighbours of node `i` are
+    /// `flat[offsets[i]..offsets[i + 1]]`, sorted by id. One flat allocation
+    /// instead of one `Vec` per node keeps construction cheap at tens of
+    /// thousands of nodes and the flood/routing scans cache-friendly.
+    offsets: Vec<usize>,
+    flat: Vec<NodeId>,
     comm_range: f64,
 }
 
@@ -38,37 +43,86 @@ impl NeighborTable {
     ///
     /// Panics if `comm_range` is not strictly positive and finite.
     pub fn build(positions: &[Point], region: Rect, comm_range: f64) -> Self {
+        Self::build_among(positions, region, comm_range, |_| true)
+    }
+
+    /// Builds the table restricted to the nodes for which `member` returns
+    /// `true`: only member↔member pairs within `comm_range` become edges, and
+    /// every non-member keeps an empty adjacency list (ids stay global, so
+    /// lookups need no translation).
+    ///
+    /// The MobiQuery event loop only ever walks the adjacency of backbone
+    /// nodes and filters every hop through an `is_backbone` check, so the
+    /// simulation builds its table among the backbone — a fraction of the
+    /// deployment — with results identical to filtering the full table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `comm_range` is not strictly positive and finite.
+    pub fn build_among(
+        positions: &[Point],
+        region: Rect,
+        comm_range: f64,
+        mut member: impl FnMut(usize) -> bool,
+    ) -> Self {
         assert!(
             comm_range.is_finite() && comm_range > 0.0,
             "communication range must be positive"
         );
-        let mut grid = SpatialGrid::new(region, comm_range)
-            .expect("positive comm range always yields a valid grid");
-        for (i, &p) in positions.iter().enumerate() {
-            grid.insert(i, p);
-        }
-        let neighbors = positions
+        let n = positions.len();
+        debug_assert!(u32::try_from(n).is_ok(), "node ids fit in the edge buffer");
+        let members: Vec<(u32, Point)> = positions
             .iter()
             .enumerate()
-            .map(|(i, &p)| {
-                let mut n: Vec<NodeId> = grid
-                    .query_range(p, comm_range)
-                    .filter(|&j| j != i)
-                    .map(NodeId)
-                    .collect();
-                n.sort_unstable();
-                n
-            })
+            .filter(|&(i, _)| member(i))
+            .map(|(i, &p)| (i as u32, p))
             .collect();
+        // One range query per member collects every directed edge; a
+        // counting scatter then groups edges by *target*. Because sources
+        // are visited in ascending id order and the scatter is stable, every
+        // adjacency list comes out sorted by id with no per-node sort — and
+        // the range predicate is symmetric, so grouping by target yields
+        // exactly the same lists as querying each node for its own
+        // neighbours. Queries run against a transient flat cell index: its
+        // row-contiguous layout scans each covered cell row as one slice,
+        // which is what makes the 10⁵–10⁶-candidate sweep cache-friendly.
+        let index = CellIndex::build(&members, region, comm_range);
+        let mut degree = vec![0usize; n];
+        // Rough per-node degree guess to keep the edge buffer from
+        // reallocating mid-collection; it grows if the deployment is denser.
+        let mut edges: Vec<(u32, u32)> = Vec::with_capacity(members.len().saturating_mul(40));
+        for &(i, p) in &members {
+            index.for_each_in_range(p, comm_range, |j| {
+                if j != i {
+                    edges.push((i, j));
+                    degree[j as usize] += 1;
+                }
+            });
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0;
+        offsets.push(0);
+        for &d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut flat = vec![NodeId(0); acc];
+        let mut cursor: Vec<usize> = offsets[..n].to_vec();
+        for &(source, target) in &edges {
+            let slot = &mut cursor[target as usize];
+            flat[*slot] = NodeId(source as usize);
+            *slot += 1;
+        }
         NeighborTable {
-            neighbors,
+            offsets,
+            flat,
             comm_range,
         }
     }
 
     /// Number of nodes covered by the table.
     pub fn node_count(&self) -> usize {
-        self.neighbors.len()
+        self.offsets.len() - 1
     }
 
     /// The communication range the table was built with.
@@ -82,25 +136,110 @@ impl NeighborTable {
     ///
     /// Panics if `node` is out of range.
     pub fn neighbors_of(&self, node: NodeId) -> &[NodeId] {
-        &self.neighbors[node.index()]
+        &self.flat[self.offsets[node.index()]..self.offsets[node.index() + 1]]
     }
 
     /// Number of neighbours of `node`.
     pub fn degree(&self, node: NodeId) -> usize {
-        self.neighbors[node.index()].len()
+        self.offsets[node.index() + 1] - self.offsets[node.index()]
     }
 
     /// Returns `true` when `a` and `b` are within range of each other.
     pub fn are_neighbors(&self, a: NodeId, b: NodeId) -> bool {
-        self.neighbors[a.index()].binary_search(&b).is_ok()
+        self.neighbors_of(a).binary_search(&b).is_ok()
     }
 
     /// Average node degree across the deployment.
     pub fn mean_degree(&self) -> f64 {
-        if self.neighbors.is_empty() {
+        if self.node_count() == 0 {
             return 0.0;
         }
-        self.neighbors.iter().map(|n| n.len()).sum::<usize>() as f64 / self.neighbors.len() as f64
+        self.flat.len() as f64 / self.node_count() as f64
+    }
+}
+
+/// Read-only flat cell index used once during table construction.
+///
+/// Same bucketing as [`wsn_geom::SpatialGrid`] (clamped position, `comm_range`-sized
+/// cells, identical inclusion predicate), but stored as one id/position
+/// array sorted by cell with per-cell offsets: the cells of one grid row are
+/// adjacent, so a range query scans each covered cell row as a single
+/// contiguous slice. Node ids within a cell stay in ascending order because
+/// the counting scatter below is stable over the id-ordered input.
+struct CellIndex {
+    starts: Vec<u32>,
+    items: Vec<(u32, Point)>,
+    cols: usize,
+    rows: usize,
+    cell: f64,
+    region: Rect,
+}
+
+impl CellIndex {
+    fn build(members: &[(u32, Point)], region: Rect, cell: f64) -> Self {
+        let cols = (region.width() / cell).ceil().max(1.0) as usize;
+        let rows = (region.height() / cell).ceil().max(1.0) as usize;
+        let index_of = |p: Point| {
+            let clamped = region.clamp(p);
+            let cx = (((clamped.x - region.min_x) / cell) as usize).min(cols - 1);
+            let cy = (((clamped.y - region.min_y) / cell) as usize).min(rows - 1);
+            cy * cols + cx
+        };
+        let mut starts = vec![0u32; cols * rows + 1];
+        for &(_, p) in members {
+            starts[index_of(p) + 1] += 1;
+        }
+        for c in 1..starts.len() {
+            starts[c] += starts[c - 1];
+        }
+        let mut items = vec![(0u32, Point::new(0.0, 0.0)); members.len()];
+        let mut cursor = starts.clone();
+        for &(id, p) in members {
+            let c = index_of(p);
+            items[cursor[c] as usize] = (id, p);
+            cursor[c] += 1;
+        }
+        CellIndex {
+            starts,
+            items,
+            cols,
+            rows,
+            cell,
+            region,
+        }
+    }
+
+    /// Calls `visit` with the id of every item within `radius` of `center`
+    /// (inclusive), under exactly the [`wsn_geom::SpatialGrid::query_range`] predicate.
+    fn for_each_in_range(&self, center: Point, radius: f64, mut visit: impl FnMut(u32)) {
+        let r = radius.max(0.0);
+        let min_cx = ((((center.x - r - self.region.min_x) / self.cell)
+            .floor()
+            .max(0.0)) as usize)
+            .min(self.cols - 1);
+        let max_cx = (((center.x + r - self.region.min_x) / self.cell)
+            .floor()
+            .max(0.0) as usize)
+            .min(self.cols - 1);
+        let min_cy = ((((center.y - r - self.region.min_y) / self.cell)
+            .floor()
+            .max(0.0)) as usize)
+            .min(self.rows - 1);
+        let max_cy = (((center.y + r - self.region.min_y) / self.cell)
+            .floor()
+            .max(0.0) as usize)
+            .min(self.rows - 1);
+        let r_sq = r * r;
+        for cy in min_cy..=max_cy {
+            let row = cy * self.cols;
+            let a = self.starts[row + min_cx] as usize;
+            let b = self.starts[row + max_cx + 1] as usize;
+            for &(id, p) in &self.items[a..b] {
+                if center.distance_sq_to(p) <= r_sq + 1e-9 {
+                    visit(id);
+                }
+            }
+        }
     }
 }
 

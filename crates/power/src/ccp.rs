@@ -16,9 +16,18 @@
 //! to the sampling resolution and considerably more robust than the
 //! intersection-point rule in the presence of region boundaries.
 
+//!
+//! Coverage is evaluated on the sample-point [`Lattice`] anchored at the
+//! region origin. The production election maintains an incremental
+//! [`CoverageRaster`] of per-point coverage counts (built once, updated per
+//! demotion); the original per-point range-query implementation is retained
+//! as [`elect_backbone_reference`] and property-tested to produce
+//! bit-identical roles.
+
 use crate::plan::PowerPlan;
+use crate::raster::CoverageRaster;
 use serde::{Deserialize, Serialize};
-use wsn_geom::{Circle, Point, Rect, SpatialGrid};
+use wsn_geom::{Circle, Lattice, Point, Rect, SpatialGrid};
 use wsn_net::{NodeRole, SleepSchedule};
 use wsn_sim::SimRng;
 
@@ -53,47 +62,60 @@ impl Default for CcpConfig {
 
 /// Returns `true` when every sample point of `disk ∩ region` is within
 /// `sensing_range` of at least `k` of the given active positions.
+///
+/// This is the reference coverage check: a spatial-grid range query per
+/// sample point (short-circuited after `k` hits — dense cells hold far more
+/// neighbours than the check needs). Sample points are enumerated through
+/// the shared [`Lattice`] so the reference and the raster evaluate
+/// predicates at bit-identical coordinates.
 fn disk_covered(
     disk: Circle,
-    region: Rect,
+    lattice: &Lattice,
     active: &SpatialGrid,
     sensing_range: f64,
     k: usize,
-    spacing: f64,
 ) -> bool {
-    let bb = disk.bounding_box();
-    let min_x = bb.min_x.max(region.min_x);
-    let max_x = bb.max_x.min(region.max_x);
-    let min_y = bb.min_y.max(region.min_y);
-    let max_y = bb.max_y.min(region.max_y);
-    if min_x > max_x || min_y > max_y {
-        // The disk lies entirely outside the deployment region; nothing to cover.
-        return true;
-    }
-    // Anchor the sample lattice at the region origin so every coverage check
+    // The lattice is anchored at the region origin so every coverage check
     // in a deployment evaluates the same global set of points. This makes the
     // greedy election's invariant exact on the lattice: if each removal keeps
     // the removed node's lattice points covered, the whole region's lattice
     // stays covered.
-    let align = |v: f64, origin: f64| origin + ((v - origin) / spacing).ceil() * spacing;
-    let start_x = align(min_x, region.min_x);
-    let start_y = align(min_y, region.min_y);
-    let mut y = start_y;
-    while y <= max_y {
-        let mut x = start_x;
-        while x <= max_x {
-            let p = Point::new(x, y);
+    let bb = disk.bounding_box();
+    let Some((iy_lo, iy_hi)) = lattice.row_range(bb.min_y, bb.max_y) else {
+        // The disk lies entirely outside the deployment region; nothing to cover.
+        return true;
+    };
+    let Some((ix_lo, ix_hi)) = lattice.col_range(bb.min_x, bb.max_x) else {
+        return true;
+    };
+    for iy in iy_lo..=iy_hi {
+        for ix in ix_lo..=ix_hi {
+            let p = lattice.point(ix, iy);
             if disk.contains(p) {
-                let covers = active.query_range(p, sensing_range).count();
+                let covers = active.query_range(p, sensing_range).take(k).count();
                 if covers < k {
                     return false;
                 }
             }
-            x += spacing;
         }
-        y += spacing;
     }
     true
+}
+
+/// Validates the election parameters shared by both implementations and
+/// returns the shuffled visit order.
+fn election_order(n: usize, config: &CcpConfig, rng: &mut SimRng) -> Vec<usize> {
+    assert!(
+        config.sensing_range_m > 0.0,
+        "sensing range must be positive"
+    );
+    assert!(
+        config.sample_spacing_m > 0.0,
+        "sample spacing must be positive"
+    );
+    let mut order: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut order);
+    order
 }
 
 /// Runs the CCP-style backbone election.
@@ -103,6 +125,12 @@ fn disk_covered(
 /// operation when the sensing disks of the *other* currently-active nodes
 /// still provide `coverage_degree`-coverage of its own sensing disk within
 /// the deployment region; otherwise it stays in the backbone.
+///
+/// Eligibility is served by an incremental [`CoverageRaster`]: per-point
+/// coverage counts built once in O(n · disk-points), after which each
+/// tentative demotion touches only the candidate's own disk points with
+/// O(1) lookups. The result is bit-identical to
+/// [`elect_backbone_reference`] for every input (property-tested).
 ///
 /// Returns one [`NodeRole`] per node, in node-id order.
 ///
@@ -116,30 +144,54 @@ pub fn elect_backbone(
     config: &CcpConfig,
     rng: &mut SimRng,
 ) -> Vec<NodeRole> {
-    assert!(
-        config.sensing_range_m > 0.0,
-        "sensing range must be positive"
-    );
-    assert!(
-        config.sample_spacing_m > 0.0,
-        "sample spacing must be positive"
-    );
-
     let n = positions.len();
+    let order = election_order(n, config, rng);
+    let mut roles = vec![NodeRole::Backbone; n];
+    if n == 0 {
+        return roles;
+    }
+    let mut raster = CoverageRaster::build(
+        positions,
+        region,
+        config.sensing_range_m,
+        config.sample_spacing_m,
+    );
+    for i in order {
+        if raster.try_demote(positions[i], config.coverage_degree) {
+            roles[i] = NodeRole::DutyCycled;
+        }
+    }
+    roles
+}
+
+/// The pre-raster election: identical greedy pass, but every eligibility
+/// check re-runs a grid range query per sample point of the candidate's
+/// disk.
+///
+/// Kept as the executable specification of the election: the `ccp_election`
+/// criterion bench and the equivalence property tests pin
+/// [`elect_backbone`]'s output byte-for-byte against this function across
+/// seeds, densities and coverage degrees.
+pub fn elect_backbone_reference(
+    positions: &[Point],
+    region: Rect,
+    config: &CcpConfig,
+    rng: &mut SimRng,
+) -> Vec<NodeRole> {
+    let n = positions.len();
+    let order = election_order(n, config, rng);
     let mut roles = vec![NodeRole::Backbone; n];
     if n == 0 {
         return roles;
     }
 
+    let lattice = Lattice::new(region, config.sample_spacing_m).expect("validated spacing");
     // Grid of currently-active nodes, updated as nodes are demoted.
     let mut active = SpatialGrid::new(region, config.sensing_range_m)
         .expect("positive sensing range yields a valid grid");
     for (i, &p) in positions.iter().enumerate() {
         active.insert(i, p);
     }
-
-    let mut order: Vec<usize> = (0..n).collect();
-    rng.shuffle(&mut order);
 
     for i in order {
         let p = positions[i];
@@ -149,11 +201,10 @@ pub fn elect_backbone(
         let disk = Circle::new(p, config.sensing_range_m);
         if disk_covered(
             disk,
-            region,
+            &lattice,
             &active,
             config.sensing_range_m,
             config.coverage_degree,
-            config.sample_spacing_m,
         ) {
             roles[i] = NodeRole::DutyCycled;
         } else {
@@ -187,36 +238,40 @@ pub fn backbone_covers_region(
     region: Rect,
     config: &CcpConfig,
 ) -> bool {
-    let mut active = match SpatialGrid::new(region, config.sensing_range_m) {
-        Ok(g) => g,
-        Err(_) => return false,
-    };
-    for (i, &p) in positions.iter().enumerate() {
-        if roles[i].is_backbone() {
-            active.insert(i, p);
-        }
+    if !(config.sensing_range_m > 0.0 && config.sample_spacing_m > 0.0) {
+        return false;
     }
-    let spacing = config.sample_spacing_m;
-    let mut y = region.min_y;
-    while y <= region.max_y {
-        let mut x = region.min_x;
-        while x <= region.max_x {
-            let p = Point::new(x, y);
-            // Only require coverage where the original deployment could
-            // provide it at all (the region corners of a random deployment may
-            // simply contain no node).
-            let possible = positions
-                .iter()
-                .any(|&q| q.distance_to(p) <= config.sensing_range_m);
-            if possible {
-                let covers = active.query_range(p, config.sensing_range_m).count();
-                if covers < config.coverage_degree {
-                    return false;
-                }
+    // Two rasters over the same lattice: coverage by the backbone, and
+    // coverage by the whole deployment. A lattice point only *requires*
+    // k-coverage where the original deployment could provide any coverage at
+    // all (the region corners of a random deployment may simply contain no
+    // node).
+    let backbone_positions: Vec<Point> = positions
+        .iter()
+        .zip(roles)
+        .filter(|(_, r)| r.is_backbone())
+        .map(|(&p, _)| p)
+        .collect();
+    let backbone = CoverageRaster::build(
+        &backbone_positions,
+        region,
+        config.sensing_range_m,
+        config.sample_spacing_m,
+    );
+    let all = CoverageRaster::build(
+        positions,
+        region,
+        config.sensing_range_m,
+        config.sample_spacing_m,
+    );
+    let lattice = *all.lattice();
+    let k = u32::try_from(config.coverage_degree).unwrap_or(u32::MAX);
+    for iy in 0..lattice.rows() {
+        for ix in 0..lattice.cols() {
+            if all.count(ix, iy) > 0 && backbone.count(ix, iy) < k {
+                return false;
             }
-            x += spacing;
         }
-        y += spacing;
     }
     true
 }
@@ -316,6 +371,28 @@ mod tests {
         let a = elect_backbone(&positions, region, &cfg, &mut SimRng::seed_from_u64(42));
         let b = elect_backbone(&positions, region, &cfg, &mut SimRng::seed_from_u64(42));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn raster_election_is_bit_identical_to_reference() {
+        let region = Rect::square(250.0);
+        let cfg = CcpConfig::paper_default();
+        for seed in 0..5u64 {
+            let positions = random_deployment(180, 250.0, seed * 13 + 3);
+            let fast = elect_backbone(
+                &positions,
+                region,
+                &cfg,
+                &mut SimRng::seed_from_u64(seed + 100),
+            );
+            let reference = elect_backbone_reference(
+                &positions,
+                region,
+                &cfg,
+                &mut SimRng::seed_from_u64(seed + 100),
+            );
+            assert_eq!(fast, reference, "seed {seed}");
+        }
     }
 
     #[test]

@@ -14,6 +14,10 @@
 //!   sensing area is already covered by other active nodes. With the paper's
 //!   parameters (communication range ≥ 2 × sensing range) the resulting
 //!   backbone is also connected, which is CCP's central theorem.
+//! * [`raster`] — the incremental coverage raster backing the election:
+//!   dense per-sample-point coverage counts built once per deployment, so a
+//!   tentative demotion is an O(disk-points) pass with O(1) lookups instead
+//!   of a grid range query per point.
 //! * [`span`] — a SPAN-style connectivity-only election, used by the ablation
 //!   benchmarks to show the query service is not tied to one power protocol.
 //! * [`energy`] — per-node radio energy accounting against a
@@ -28,9 +32,11 @@
 pub mod ccp;
 pub mod energy;
 pub mod plan;
+pub mod raster;
 pub mod span;
 
-pub use ccp::{elect_backbone, CcpConfig};
+pub use ccp::{elect_backbone, elect_backbone_reference, CcpConfig};
 pub use energy::EnergyLedger;
 pub use plan::PowerPlan;
+pub use raster::CoverageRaster;
 pub use span::elect_backbone_span;

@@ -1,7 +1,7 @@
 //! Offline minimal stand-in for the `criterion` benchmark harness.
 //!
 //! crates.io is unreachable from this build environment, so this shim keeps
-//! the workspace's seven `[[bench]]` targets compiling and runnable with the
+//! the workspace's nine `[[bench]]` targets compiling and runnable with the
 //! API subset they use (`Criterion::bench_function`, `benchmark_group`,
 //! `sample_size`, `criterion_group!`, `criterion_main!`). Instead of
 //! criterion's statistical machinery it runs each benchmark for a warm-up

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Sanity-check a mobiquery-repro/bench/v3 document.
+
+Shared by ci.sh and .github/workflows/ci.yml so the schema contract and the
+pre-raster baseline figures live in exactly one place. Asserts that the
+document carries the host metadata and the per-phase setup breakdown, and
+that the coverage-raster election keeps `ccp_ms` at or below the *whole*
+pre-raster setup figure committed for the same deployment size (bench/v2
+values; generous by an order of magnitude on a quiet machine, so this only
+fires on a real regression).
+"""
+
+import json
+import sys
+
+# Whole-setup wall-clock (ms) committed in the last bench/v2 snapshot, i.e.
+# before the coverage raster, per deployment size (max of jit/np).
+OLD_WHOLE_SETUP_MS = {
+    1000: 19.05,
+    2000: 38.0,
+    5000: 100.97,
+    10000: 182.3,
+    20000: 389.54,
+}
+
+
+def main(path):
+    with open(path) as f:
+        doc = json.load(f)
+    assert doc["schema"] == "mobiquery-repro/bench/v3", doc["schema"]
+    assert doc.get("host_cores", 0) >= 1, "host_cores missing from bench header"
+    for entry in doc["scale"]:
+        nodes = entry["nodes"]
+        for scheme in ("jit", "np"):
+            setup = entry[scheme]["setup"]
+            for field in ("neighbor_ms", "ccp_ms", "plan_ms"):
+                assert field in setup, f"{nodes}/{scheme}: missing setup.{field}"
+            bound = OLD_WHOLE_SETUP_MS.get(nodes)
+            if bound is not None:
+                assert setup["ccp_ms"] <= bound, (
+                    f"{nodes}/{scheme}: ccp_ms {setup['ccp_ms']} exceeds the "
+                    f"pre-raster whole-setup figure {bound} ms"
+                )
+    print("bench/v3 setup breakdown OK")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "BENCH_repro.json")

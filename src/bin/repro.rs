@@ -158,9 +158,13 @@ fn bench_json(
     };
     Some(
         JsonValue::object()
-            .with("schema", "mobiquery-repro/bench/v2")
+            .with("schema", "mobiquery-repro/bench/v3")
             .with("mode", if config.quick { "quick" } else { "full" })
             .with("runs", config.runs)
+            // Per-figure speedup numbers are only interpretable relative to
+            // the host: on a 1-core container the parallel path is pure
+            // overhead and speedup < 1 is expected.
+            .with("host_cores", pool::available_jobs())
             .with("parallel_jobs", config.jobs)
             .with("figures", figures)
             .with("scale", scale),

@@ -6,8 +6,11 @@
 //! validation, substrate assembly, or any scheme's event loop fails loudly
 //! even if the tuned end-to-end assertions in `end_to_end.rs` are skipped.
 
+use mobiquery_repro::geom::{Point, Rect};
 use mobiquery_repro::mobiquery::config::{Scenario, Scheme};
 use mobiquery_repro::mobiquery::sim::Simulation;
+use mobiquery_repro::power::ccp::{elect_backbone, CcpConfig};
+use mobiquery_repro::sim::SimRng;
 
 #[test]
 fn non_finite_durations_are_config_errors_not_panics() {
@@ -18,6 +21,32 @@ fn non_finite_durations_are_config_errors_not_panics() {
             "duration {bad} must be rejected by validation"
         );
     }
+}
+
+#[test]
+fn backbone_membership_matches_pinned_snapshot() {
+    // The CCP election is a pure function of (deployment, config, seed); the
+    // coverage-raster rewrite (and any future election speedup) must keep it
+    // byte-identical, so the exact membership for one fixed seed is pinned
+    // here. If this fails, election behaviour changed — that is never a
+    // legitimate side effect of performance work.
+    let mut rng = SimRng::seed_from_u64(20250729);
+    let positions: Vec<Point> = (0..60)
+        .map(|_| Point::new(rng.gen_range_f64(0.0, 200.0), rng.gen_range_f64(0.0, 200.0)))
+        .collect();
+    let roles = elect_backbone(
+        &positions,
+        Rect::square(200.0),
+        &CcpConfig::paper_default(),
+        &mut SimRng::seed_from_u64(7),
+    );
+    let backbone: Vec<usize> = roles
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.is_backbone())
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(backbone, [0, 10, 17, 22, 24, 25, 32, 46, 49, 50, 51, 59]);
 }
 
 #[test]
