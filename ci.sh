@@ -25,6 +25,7 @@ run cargo test -q --workspace --exclude mobiquery-repro
 # explicitly so a manifest slip can't silently drop it from the suite.
 run cargo bench --no-run -q
 run cargo bench --no-run -q -p mobiquery-bench --bench ccp_election
+run cargo bench --no-run -q -p mobiquery-bench --bench tree_sharing
 
 # The examples and the CLI must stay runnable, not just compilable.
 for ex in quickstart firefighter rescue_robot duty_cycle_tuning parallel_sweep; do
@@ -41,19 +42,31 @@ run cargo run --release -q --bin repro -- --quick --format json --jobs 4 \
     --out target/repro-jobs4.json fig4
 run cmp target/repro-jobs1.json target/repro-jobs4.json
 
+# Same gate for the multi-user multiplexing path at a 64-user fleet: every
+# trial already cross-checks shared trees against the naive one-tree-per-user
+# reference, and the emitted bytes must not depend on the worker count.
+run cargo run --release -q --bin repro -- --quick --users 64 --format json \
+    --jobs 1 --out target/repro-mu-jobs1.json multiuser
+run cargo run --release -q --bin repro -- --quick --users 64 --format json \
+    --jobs 4 --out target/repro-mu-jobs4.json multiuser
+run cmp target/repro-mu-jobs1.json target/repro-mu-jobs4.json
+
 # Bench trajectory: quick-mode per-figure wall clock (serial vs parallel)
 # plus a small --scale smoke sweep (the committed snapshot carries the full
 # 1k-20k sweep). Writes under target/ so a green run leaves the tree clean;
 # copy it over the committed snapshot when a PR deliberately updates the
 # perf trajectory:
-#   cargo run --release -q --bin repro -- --quick \
+#   cargo run --release -q --bin repro -- --quick --users 250 \
 #       --bench BENCH_repro.json --scale 1000,2000,5000,10000,20000 all
-run cargo run --release -q --bin repro -- --quick \
+run cargo run --release -q --bin repro -- --quick --users 100 \
     --bench target/BENCH_repro.json --scale 1000,2000 all
 
-# bench/v3 sanity: schema, host metadata, per-phase setup breakdown and the
-# raster-election regression bound, all enforced by the script shared with
-# the hosted workflow.
-run python3 scripts/check_bench_v3.py target/BENCH_repro.json
+# bench/v4 sanity: schema, host metadata, per-phase setup breakdown, the
+# raster-election regression bound and the multi-user tree economy (shared
+# cache strictly beating one-tree-per-user at 100+ user fleets), enforced by
+# the script shared with the hosted workflow — on both the fresh run and the
+# committed snapshot.
+run python3 scripts/check_bench.py target/BENCH_repro.json
+run python3 scripts/check_bench.py BENCH_repro.json
 
 echo "==> CI green"

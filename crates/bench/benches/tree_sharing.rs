@@ -1,0 +1,68 @@
+//! Shared tree cache vs naive one-tree-per-user at multi-user scale.
+//!
+//! A fleet of users whose query areas overlap should not cost one flood tree
+//! per user per period: the reference-counted [`TreeCache`] multiplexes
+//! co-located queries onto shared trees. This bench pins both the saving and
+//! — before timing anything — the per-user result identity the sharing must
+//! preserve: the shared run's query logs are asserted equal to the naive
+//! reference run's, user for user, exactly like the raster-vs-reference CCP
+//! election bench.
+//!
+//! [`TreeCache`]: wsn_net::TreeCache
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mobiquery::config::Scheme;
+use mobiquery::sim::{MultiSimulation, TreeSharing};
+use mobiquery_experiments::scale::scale_scenario;
+use std::hint::black_box;
+
+const NODES: usize = 1_000;
+const USERS: usize = 64;
+const SEED: u64 = 11;
+
+fn bench_tree_sharing(c: &mut Criterion) {
+    let scenario = scale_scenario(NODES, Scheme::JustInTime, SEED);
+
+    // The timings only mean anything if sharing changes no user's results.
+    let shared = MultiSimulation::new(scenario.clone(), USERS, TreeSharing::Shared)
+        .expect("bench scenario is valid")
+        .run();
+    let naive = MultiSimulation::new(scenario.clone(), USERS, TreeSharing::Naive)
+        .expect("bench scenario is valid")
+        .run();
+    assert_eq!(
+        shared.logs, naive.logs,
+        "shared and naive runs diverged at {USERS} users"
+    );
+    assert!(
+        shared.trees_built < naive.trees_built,
+        "no sharing happened: {} shared vs {} naive trees",
+        shared.trees_built,
+        naive.trees_built
+    );
+
+    let mut group = c.benchmark_group("tree_sharing");
+    group.sample_size(10);
+    group.bench_function(format!("shared_{NODES}n_{USERS}u"), |b| {
+        b.iter(|| {
+            black_box(
+                MultiSimulation::new(scenario.clone(), USERS, TreeSharing::Shared)
+                    .expect("bench scenario is valid")
+                    .run(),
+            )
+        })
+    });
+    group.bench_function(format!("naive_{NODES}n_{USERS}u"), |b| {
+        b.iter(|| {
+            black_box(
+                MultiSimulation::new(scenario.clone(), USERS, TreeSharing::Naive)
+                    .expect("bench scenario is valid")
+                    .run(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tree_sharing);
+criterion_main!(benches);

@@ -198,6 +198,53 @@ pub fn contention_speed_threshold_mps(p: &AnalysisParams) -> f64 {
     (2.0 * p.comm_range_m + 4.0 * p.query_radius_m) / (p.sleep_s + p.freshness_s)
 }
 
+// --- N-user extensions of the Eq. 17–18 contention closed forms -----------
+//
+// The paper derives the interference quantities for a single mobile user.
+// With `n` independent users whose pickup points land in the same
+// neighbourhood (the worst case the tree cache is built for), a naive
+// one-tree-per-user deployment multiplies both the spatial span and the
+// temporal overlap by `n`; a shared deployment collapses every user in a
+// lattice cell onto one tree, so its interference stays at the single-user
+// value whatever `n` is.
+
+/// `n`-user extension of Equation 17: with `n` users sweeping pickup points
+/// through the same neighbourhood, `Ms(n) = n · Ms`.
+pub fn interference_span_trees_n(p: &AnalysisParams, n: u64) -> u64 {
+    n * interference_span_trees(p)
+}
+
+/// `n`-user extension of Equation 18 for greedy prefetching:
+/// `Mt−gp(n) ≤ n · Mt−gp` (each user's setups overlap independently).
+pub fn overlapping_setups_greedy_n(p: &AnalysisParams, n: u64) -> u64 {
+    n * overlapping_setups_greedy(p)
+}
+
+/// `n`-user extension of the just-in-time temporal overlap:
+/// `Mt−jit(n) = n · Mt−jit`.
+pub fn overlapping_setups_jit_n(p: &AnalysisParams, n: u64) -> u64 {
+    n * overlapping_setups_jit(p)
+}
+
+/// `n`-user interference length for greedy prefetching without tree sharing:
+/// `Mgp(n) = min(Mt−gp(n), Ms(n))`.
+pub fn interference_length_greedy_n(p: &AnalysisParams, n: u64) -> u64 {
+    overlapping_setups_greedy_n(p, n).min(interference_span_trees_n(p, n))
+}
+
+/// `n`-user interference length for just-in-time prefetching without tree
+/// sharing: `Mjit(n) = min(Mt−jit(n), Ms(n))`.
+pub fn interference_length_jit_n(p: &AnalysisParams, n: u64) -> u64 {
+    overlapping_setups_jit_n(p, n).min(interference_span_trees_n(p, n))
+}
+
+/// Interference length for `n` just-in-time users multiplexed through the
+/// shared tree cache: co-located users join one tree instead of building `n`,
+/// so the interference stays at the single-user `Mjit` independent of `n`.
+pub fn shared_interference_length_jit(p: &AnalysisParams) -> u64 {
+    interference_length_jit(p)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -322,5 +369,63 @@ mod tests {
         let p = AnalysisParams::contention_example();
         assert!(interference_length_greedy(&p) <= interference_span_trees(&p));
         assert!(interference_length_jit(&p) <= interference_span_trees(&p));
+    }
+
+    #[test]
+    fn n_user_forms_collapse_to_the_single_user_values_at_n_1() {
+        let p = AnalysisParams::contention_example();
+        assert_eq!(
+            interference_span_trees_n(&p, 1),
+            interference_span_trees(&p)
+        );
+        assert_eq!(
+            overlapping_setups_greedy_n(&p, 1),
+            overlapping_setups_greedy(&p)
+        );
+        assert_eq!(overlapping_setups_jit_n(&p, 1), overlapping_setups_jit(&p));
+        assert_eq!(
+            interference_length_greedy_n(&p, 1),
+            interference_length_greedy(&p)
+        );
+        assert_eq!(
+            interference_length_jit_n(&p, 1),
+            interference_length_jit(&p)
+        );
+        assert_eq!(
+            shared_interference_length_jit(&p),
+            interference_length_jit(&p)
+        );
+    }
+
+    #[test]
+    fn naive_n_user_interference_grows_monotonically() {
+        let p = AnalysisParams::contention_example();
+        let mut prev_jit = 0;
+        let mut prev_greedy = 0;
+        for n in 1..=128 {
+            let jit = interference_length_jit_n(&p, n);
+            let greedy = interference_length_greedy_n(&p, n);
+            assert!(jit > prev_jit, "jit interference must grow with n");
+            assert!(greedy >= prev_greedy);
+            assert!(jit <= interference_span_trees_n(&p, n));
+            prev_jit = jit;
+            prev_greedy = greedy;
+        }
+    }
+
+    #[test]
+    fn shared_trees_beat_the_naive_n_user_closed_form_for_n_above_1() {
+        let p = AnalysisParams::contention_example();
+        let shared = shared_interference_length_jit(&p);
+        for n in [2, 10, 100, 250] {
+            assert!(
+                shared < interference_length_jit_n(&p, n),
+                "sharing must cut interference at n={n}"
+            );
+        }
+        // And the paper's single-user numbers still anchor the scale:
+        // Mjit = 3, Ms = 35 in the contention example.
+        assert_eq!(interference_length_jit_n(&p, 10), 30);
+        assert_eq!(interference_length_jit_n(&p, 100), 300);
     }
 }

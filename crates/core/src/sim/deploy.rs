@@ -1,0 +1,140 @@
+//! Deployment substrate construction shared by the single- and multi-user
+//! simulations.
+//!
+//! This is the setup phase of `Simulation::new`, extracted verbatim so the
+//! multi-user simulation builds the *identical* substrate — same RNG fork
+//! order (placement = fork 1, CCP election = fork 2), same all-nodes spatial
+//! grid, same backbone-only neighbour table — from the same scenario seed.
+//! The single-user golden snapshots pin that this extraction changed nothing:
+//! `tests/golden/fig4_quick.json` is byte-identical across the refactor.
+
+use crate::config::Scenario;
+use crate::error::ConfigError;
+use std::time::Instant;
+use wsn_geom::{Point, SpatialGrid};
+use wsn_net::NeighborTable;
+use wsn_power::ccp::elect_backbone;
+use wsn_power::PowerPlan;
+use wsn_sim::SimRng;
+
+/// The static substrate of one deployment: node positions, the all-nodes
+/// spatial grid, the backbone neighbour table and the power plan.
+#[derive(Debug)]
+pub(crate) struct Deployment {
+    pub(crate) positions: Vec<Point>,
+    pub(crate) all_nodes_grid: SpatialGrid,
+    pub(crate) neighbors: NeighborTable,
+    pub(crate) plan: PowerPlan,
+    /// Wall-clock spent on placement, the spatial grid and the neighbour
+    /// table (a timing observation, not simulation state).
+    pub(crate) neighbor_ms: f64,
+    /// Wall-clock spent on the CCP backbone election.
+    pub(crate) ccp_ms: f64,
+}
+
+impl Deployment {
+    /// Builds the deployment for `scenario`, consuming forks 1 and 2 of the
+    /// scenario's root RNG (the caller continues with fork 3 onwards, which
+    /// is what keeps the single-user event stream byte-identical to the
+    /// pre-extraction construction).
+    pub(crate) fn build(scenario: &Scenario, rng: &mut SimRng) -> Result<Self, ConfigError> {
+        let region = scenario.region();
+        let phase_start = Instant::now();
+        let ms_since = |start: Instant| start.elapsed().as_secs_f64() * 1e3;
+
+        // --- Deployment -------------------------------------------------
+        let mut placement_rng = rng.fork(1);
+        let positions: Vec<Point> = (0..scenario.node_count)
+            .map(|_| {
+                Point::new(
+                    placement_rng.gen_range_f64(region.min_x, region.max_x),
+                    placement_rng.gen_range_f64(region.min_y, region.max_y),
+                )
+            })
+            .collect();
+        let comm_range = scenario.radio.comm_range_m;
+        let mut all_nodes_grid =
+            SpatialGrid::new(region, comm_range).map_err(|e| ConfigError::new(e.to_string()))?;
+        all_nodes_grid.reserve(positions.len());
+        for (i, &p) in positions.iter().enumerate() {
+            all_nodes_grid.insert(i, p);
+        }
+        let neighbor_grid_ms = ms_since(phase_start);
+
+        // --- Power management (CCP backbone + PSM schedule) --------------
+        let phase_start = Instant::now();
+        let mut ccp_rng = rng.fork(2);
+        let roles = elect_backbone(&positions, region, &scenario.ccp, &mut ccp_rng);
+        let ccp_ms = ms_since(phase_start);
+
+        // The event loop only walks backbone adjacency (every flood and
+        // routing hop filters on `is_backbone`), so the table is built among
+        // the elected backbone — a fraction of the deployment — with results
+        // identical to filtering the full table.
+        let phase_start = Instant::now();
+        let neighbors =
+            NeighborTable::build_among(&positions, region, comm_range, |i| roles[i].is_backbone());
+        let neighbor_ms = neighbor_grid_ms + ms_since(phase_start);
+
+        let plan = PowerPlan::new(roles, scenario.sleep_schedule());
+        Ok(Deployment {
+            positions,
+            all_nodes_grid,
+            neighbors,
+            plan,
+            neighbor_ms,
+            ccp_ms,
+        })
+    }
+
+    /// A spatial grid over backbone nodes only, for nearest-collector
+    /// lookups. The backbone is static after election, so one grid serves a
+    /// whole run.
+    pub(crate) fn backbone_grid(
+        positions: &[Point],
+        plan: &PowerPlan,
+        scenario: &Scenario,
+    ) -> SpatialGrid {
+        let mut grid = SpatialGrid::new(scenario.region(), scenario.radio.comm_range_m)
+            .expect("validated scenarios have a positive communication range");
+        for node in plan.backbone_nodes() {
+            grid.insert(node.index(), positions[node.index()]);
+        }
+        grid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deployment_is_a_pure_function_of_scenario_and_rng() {
+        let scenario = Scenario::paper_default()
+            .with_node_count(120)
+            .with_region_side(350.0)
+            .with_seed(9);
+        let build = || {
+            let mut rng = SimRng::seed_from_u64(scenario.seed);
+            Deployment::build(&scenario, &mut rng).unwrap()
+        };
+        let (a, b) = (build(), build());
+        assert_eq!(a.positions, b.positions);
+        assert_eq!(a.plan.roles(), b.plan.roles());
+        assert!(a.plan.backbone_count() > 0);
+        assert!(a.plan.backbone_count() < scenario.node_count);
+    }
+
+    #[test]
+    fn rng_state_after_build_matches_two_manual_forks() {
+        // The substrate must consume exactly forks 1 and 2: downstream
+        // single-user streams (motion = fork 3, ...) depend on it.
+        let scenario = Scenario::paper_default().with_node_count(60).with_seed(4);
+        let mut rng = SimRng::seed_from_u64(scenario.seed);
+        Deployment::build(&scenario, &mut rng).unwrap();
+        let mut reference = SimRng::seed_from_u64(scenario.seed);
+        let _ = reference.fork(1);
+        let _ = reference.fork(2);
+        assert_eq!(rng, reference);
+    }
+}

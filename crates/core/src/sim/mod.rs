@@ -11,23 +11,25 @@
 //! Every run is a pure function of its [`Scenario`] (including the seed), so
 //! figures are reproducible bit for bit.
 
+mod deploy;
 mod event;
+mod multi;
 mod output;
 mod state;
 mod world;
 
 pub use event::SimEvent;
+pub use multi::{MultiSimulation, MultiUserOutput, QuerySet, TreeSharing, UserQuery};
 pub use output::SimulationOutput;
 pub use state::QueryState;
 pub use world::SimWorld;
 
 use crate::config::{Scenario, Scheme};
 use crate::error::ConfigError;
+use deploy::Deployment;
 use std::time::Instant;
-use wsn_geom::Point;
-use wsn_net::{Channel, NeighborTable, NodeId, RadioState, SleepSchedule};
-use wsn_power::ccp::elect_backbone;
-use wsn_power::{EnergyLedger, PowerPlan};
+use wsn_net::{Channel, NodeId, RadioState, SleepSchedule};
+use wsn_power::EnergyLedger;
 use wsn_sim::{Duration, Engine, SimRng, SimTime};
 
 /// Wall-clock breakdown of the setup phases of [`Simulation::new`], in
@@ -75,46 +77,18 @@ impl Simulation {
     pub fn new(scenario: Scenario) -> Result<Self, ConfigError> {
         scenario.validate()?;
         let mut rng = SimRng::seed_from_u64(scenario.seed);
-        let region = scenario.region();
-        let phase_start = Instant::now();
         let ms_since = |start: Instant| start.elapsed().as_secs_f64() * 1e3;
 
-        // --- Deployment -------------------------------------------------
-        let mut placement_rng = rng.fork(1);
-        let positions: Vec<Point> = (0..scenario.node_count)
-            .map(|_| {
-                Point::new(
-                    placement_rng.gen_range_f64(region.min_x, region.max_x),
-                    placement_rng.gen_range_f64(region.min_y, region.max_y),
-                )
-            })
-            .collect();
-        let comm_range = scenario.radio.comm_range_m;
-        let mut all_nodes_grid = wsn_geom::SpatialGrid::new(region, comm_range)
-            .map_err(|e| ConfigError::new(e.to_string()))?;
-        all_nodes_grid.reserve(positions.len());
-        for (i, &p) in positions.iter().enumerate() {
-            all_nodes_grid.insert(i, p);
-        }
-        let neighbor_grid_ms = ms_since(phase_start);
-
-        // --- Power management (CCP backbone + PSM schedule) --------------
+        // --- Deployment substrate (shared with the multi-user path) ------
+        let Deployment {
+            positions,
+            all_nodes_grid,
+            neighbors,
+            plan,
+            neighbor_ms,
+            ccp_ms,
+        } = Deployment::build(&scenario, &mut rng)?;
         let phase_start = Instant::now();
-        let mut ccp_rng = rng.fork(2);
-        let roles = elect_backbone(&positions, region, &scenario.ccp, &mut ccp_rng);
-        let ccp_ms = ms_since(phase_start);
-
-        // The event loop only walks backbone adjacency (every flood and
-        // routing hop filters on `is_backbone`), so the table is built among
-        // the elected backbone — a fraction of the deployment — with results
-        // identical to filtering the full table.
-        let phase_start = Instant::now();
-        let neighbors =
-            NeighborTable::build_among(&positions, region, comm_range, |i| roles[i].is_backbone());
-        let neighbor_ms = neighbor_grid_ms + ms_since(phase_start);
-
-        let phase_start = Instant::now();
-        let plan = PowerPlan::new(roles, scenario.sleep_schedule());
 
         // --- Mobility and motion profiles --------------------------------
         let mut motion_rng = rng.fork(3);

@@ -1,0 +1,837 @@
+//! Many-user query multiplexing over one deployment.
+//!
+//! The paper evaluates one mobile user per trial; the roadmap's target is
+//! hundreds of concurrent users served by the same sensor network. This
+//! module runs a [`QuerySet`] of `N` users — each with its own trajectory,
+//! motion profiles and staggered query lifetime, all derived from the
+//! scenario seed through [`wsn_sim::mix_seed`] — over the substrate built by
+//! [`super::deploy::Deployment`], and multiplexes their per-period query
+//! trees through the reference-counted [`TreeCache`].
+//!
+//! **Sharing is provably result-identical per user.** Both sharing modes
+//! quantise each user's predicted pickup point to a lattice cell of side
+//! `Rq` before building a tree, so a shared tree's construction inputs are
+//! bit-identical to what the naive one-tree-per-user path would use;
+//! [`TreeSharing::Naive`] builds every tree afresh through an independent
+//! [`FloodScratch`] (never touching the cache) and serves as the reference
+//! implementation, in the style of `elect_backbone_reference`. All random
+//! scoring draws come from per-query streams
+//! `mix_seed(seed, [QUERY_STREAM, user, k])`, and contention depends only on
+//! the (pure) count of concurrently active users — so shared and naive runs
+//! produce byte-identical per-user [`QueryLog`]s, which
+//! `tree_cache_equivalence` proptests and the `tree_sharing` bench assert.
+//!
+//! **Temporal sharing across periods works because of event ordering.** All
+//! `PeriodInstall` events are seeded upfront and therefore carry lower
+//! sequence numbers than the `QueryResolve` events scheduled during the run;
+//! at the instant `k·T` the installs for period `k+1` fire before period
+//! `k`'s releases, so a user lingering in one lattice cell hands the cell's
+//! tree from period to period through the cache without it ever being freed
+//! and rebuilt.
+
+use crate::config::Scenario;
+use crate::error::ConfigError;
+use crate::sim::deploy::Deployment;
+use std::collections::HashMap;
+use wsn_geom::{Circle, Point, SpatialGrid};
+use wsn_metrics::{summarize_users, QueryLog, QueryRecord, UserSummary};
+use wsn_mobility::{generate_fleet, MotionProfile, UserMotion};
+use wsn_net::{
+    Channel, FloodScratch, FloodTree, NeighborTable, NodeId, SleepSchedule, TreeCache, TreeHandle,
+    TreeKey,
+};
+use wsn_power::PowerPlan;
+use wsn_sim::{mix_seed, Engine, EventQueue, SimRng, SimTime, World};
+
+/// Stream tag for each user's query-lifetime window draw.
+const LIFETIME_STREAM: u64 = 0x11FE_0000_0000_0002;
+/// Stream tag for per-query scoring draws (loss, wake jitter).
+const QUERY_STREAM: u64 = 0x5EED_0000_0000_0003;
+
+/// Whether overlapping query areas share flood trees through the cache or
+/// every query builds its own tree (the reference implementation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TreeSharing {
+    /// One reference-counted tree per distinct `(collector, cell, radius)`
+    /// key, shared by every query that maps to it.
+    Shared,
+    /// One fresh tree per query install — the one-tree-per-user baseline the
+    /// shared path is proven equal to.
+    Naive,
+}
+
+impl TreeSharing {
+    /// Stable lower-case name, used in JSON documents and CLI output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TreeSharing::Shared => "shared",
+            TreeSharing::Naive => "naive",
+        }
+    }
+}
+
+/// One user of a multi-user trial: identity, motion, profiles and the
+/// staggered window of query periods the user is active in.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UserQuery {
+    /// Fleet index of the user.
+    pub user: usize,
+    /// The user's derived seed (base for its downstream streams).
+    pub seed: u64,
+    /// Ground-truth trajectory.
+    pub motion: UserMotion,
+    /// Motion profiles delivered for this user, sorted by `effective_from`.
+    pub profiles: Vec<MotionProfile>,
+    /// First query period the user is active in (1-based).
+    pub first_k: u64,
+    /// Last query period the user is active in (inclusive).
+    pub last_k: u64,
+}
+
+impl UserQuery {
+    /// Returns `true` when the user issues a query in period `k`.
+    pub fn active_in(&self, k: u64) -> bool {
+        self.first_k <= k && k <= self.last_k
+    }
+
+    /// Number of queries the user issues over its lifetime window.
+    pub fn query_count(&self) -> u64 {
+        self.last_k.saturating_sub(self.first_k) + 1
+    }
+}
+
+/// The set of concurrent users of one multi-user trial.
+///
+/// A pure function of `(scenario, users)`: user `u` is derived from
+/// `mix_seed(scenario.seed, [FLEET_STREAM, u])` and its lifetime window from
+/// `mix_seed(user_seed, [LIFETIME_STREAM])`, so the set is identical across
+/// job counts, sharing modes and fleet sizes (prefix-stable in `users`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuerySet {
+    users: Vec<UserQuery>,
+    max_k: u64,
+}
+
+impl QuerySet {
+    /// Generates the fleet and each user's staggered lifetime window.
+    ///
+    /// User 0 spans the full query lifetime (the single-user convention, and
+    /// a guarantee that every period has at least one active user); each
+    /// further user draws its window start and end from its own stream,
+    /// covering at least half the lifetime.
+    pub fn generate(scenario: &Scenario, users: usize) -> Self {
+        let max_k = scenario.query.result_count();
+        let fleet = generate_fleet(
+            &scenario.motion,
+            scenario.profile_source,
+            users,
+            scenario.seed,
+        );
+        let users = fleet
+            .into_iter()
+            .map(|member| {
+                let (first_k, last_k) = if member.index == 0 {
+                    (1, max_k)
+                } else {
+                    let mut rng = SimRng::seed_from_u64(mix_seed(member.seed, &[LIFETIME_STREAM]));
+                    let span = (max_k / 4).max(1) as usize;
+                    let mut first = 1 + rng.gen_range_usize(0, span) as u64;
+                    let mut last = max_k - rng.gen_range_usize(0, span) as u64;
+                    if first > last {
+                        std::mem::swap(&mut first, &mut last);
+                    }
+                    (first.clamp(1, max_k), last.clamp(first, max_k))
+                };
+                UserQuery {
+                    user: member.index,
+                    seed: member.seed,
+                    motion: member.motion,
+                    profiles: member.profiles,
+                    first_k,
+                    last_k,
+                }
+            })
+            .collect();
+        QuerySet { users, max_k }
+    }
+
+    /// The users, in fleet order.
+    pub fn users(&self) -> &[UserQuery] {
+        &self.users
+    }
+
+    /// Number of users in the set.
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Returns `true` for an empty set.
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+
+    /// The number of query periods of the underlying scenario.
+    pub fn max_k(&self) -> u64 {
+        self.max_k
+    }
+
+    /// Number of users active in period `k` — the contention level every
+    /// query of that period is scored under. Pure, so every sharing mode and
+    /// job count sees the same concurrency.
+    pub fn active_users(&self, k: u64) -> usize {
+        self.users.iter().filter(|u| u.active_in(k)).count()
+    }
+
+    /// Total number of query installs over the whole trial.
+    pub fn total_queries(&self) -> u64 {
+        self.users.iter().map(|u| u.query_count()).sum()
+    }
+}
+
+/// Events of the multi-user event loop.
+#[derive(Debug, Clone)]
+enum MultiEvent {
+    /// Batched per-period install: one pass over every user active in period
+    /// `k`, fired one period ahead of the deadline.
+    PeriodInstall { k: u64 },
+    /// Query `k` of `user` reaches its deadline and is scored.
+    QueryResolve { user: u32, k: u64 },
+}
+
+/// A query currently standing in the network.
+#[derive(Debug, Clone, Copy)]
+struct ActiveQuery {
+    center: Point,
+    installed_at: SimTime,
+    /// Cache handle in [`TreeSharing::Shared`] mode, `None` in naive mode
+    /// (the tree then lives in `naive_trees`).
+    handle: Option<TreeHandle>,
+}
+
+/// The multi-user protocol world driven by the discrete-event engine.
+#[derive(Debug)]
+struct MultiUserWorld {
+    scenario: Scenario,
+    positions: Vec<Point>,
+    neighbors: NeighborTable,
+    plan: PowerPlan,
+    all_nodes_grid: SpatialGrid,
+    backbone_grid: SpatialGrid,
+    schedule: SleepSchedule,
+    channel: Channel,
+    query_set: QuerySet,
+    sharing: TreeSharing,
+    cache: TreeCache,
+    naive_scratch: FloodScratch,
+    naive_trees: HashMap<(u32, u64), FloodTree>,
+    naive_built: u64,
+    active: HashMap<(u32, u64), ActiveQuery>,
+    /// Wake-up cost of each distinct tree, memoised by construction key so
+    /// both sharing modes charge bit-identical costs.
+    tree_cost: HashMap<TreeKey, f64>,
+    logs: Vec<QueryLog>,
+    installs: u64,
+    /// Sleeping-node wake seconds actually paid under the selected mode.
+    node_wake_seconds: f64,
+    /// Sleeping-node wake seconds the naive one-tree-per-user baseline would
+    /// pay for the same installs (equal to `node_wake_seconds` in naive mode).
+    node_wake_seconds_naive: f64,
+}
+
+impl MultiUserWorld {
+    fn deadline(&self, k: u64) -> SimTime {
+        SimTime::ZERO + self.scenario.query.period * k
+    }
+
+    /// The pickup point for `(user, k)` predicted from the profiles delivered
+    /// by `now`: the qualifying profile with the latest `effective_from` not
+    /// exceeding the deadline, falling back to ground truth when none has
+    /// been delivered yet.
+    fn predicted_pickup(user: &UserQuery, now: SimTime, deadline: SimTime) -> Point {
+        let mut best = None;
+        for profile in &user.profiles {
+            if profile.generated_at <= now && profile.effective_from <= deadline {
+                best = Some(profile);
+            }
+        }
+        match best {
+            Some(profile) => profile.predicted_position(deadline),
+            None => user.motion.position_at(deadline),
+        }
+    }
+
+    /// Snaps a predicted pickup point to the centre of its lattice cell (side
+    /// `Rq`), clamped into the region. Queries in the same cell share a
+    /// collector and a tree; the naive mode uses the same snapped centre, so
+    /// its trees are bit-identical to the shared ones.
+    fn quantized_center(&self, p: Point) -> Point {
+        let cell = self.scenario.query.radius_m;
+        let region = self.scenario.region();
+        let snap = |v: f64, lo: f64, hi: f64| {
+            (((v - lo) / cell).floor() * cell + lo + cell / 2.0).clamp(lo, hi)
+        };
+        Point::new(
+            snap(p.x, region.min_x, region.max_x),
+            snap(p.y, region.min_y, region.max_y),
+        )
+    }
+
+    fn handle_period_install(&mut self, now: SimTime, k: u64, queue: &mut EventQueue<MultiEvent>) {
+        let deadline = self.deadline(k);
+        let relay_radius = self.scenario.query.radius_m + self.scenario.radio.comm_range_m;
+        for index in 0..self.query_set.users().len() {
+            if !self.query_set.users()[index].active_in(k) {
+                continue;
+            }
+            let user = index as u32;
+            // Every issued query gets scored, tree or no tree.
+            queue.schedule_at(deadline, MultiEvent::QueryResolve { user, k });
+
+            let pickup = {
+                let uq = &self.query_set.users()[index];
+                Self::predicted_pickup(uq, now, deadline)
+            };
+            let center = self.quantized_center(pickup);
+            let Some(collector) = self.backbone_grid.nearest(center).map(|(i, _)| NodeId(i)) else {
+                continue; // no backbone at all: the resolve records a miss
+            };
+            let key = TreeKey::new(collector, center, relay_radius);
+            self.installs += 1;
+
+            let handle = match self.sharing {
+                TreeSharing::Shared => {
+                    let positions = &self.positions;
+                    let plan = &self.plan;
+                    let (handle, built) = self.cache.acquire(key, &self.neighbors, |n| {
+                        plan.is_backbone(n)
+                            && positions[n.index()].distance_to(center) <= relay_radius
+                    });
+                    let cost = self.memoized_cost(key, None, Some(handle));
+                    self.node_wake_seconds_naive += cost;
+                    if built {
+                        self.node_wake_seconds += cost;
+                    }
+                    Some(handle)
+                }
+                TreeSharing::Naive => {
+                    let positions = &self.positions;
+                    let plan = &self.plan;
+                    let tree = self.naive_scratch.build(collector, &self.neighbors, |n| {
+                        plan.is_backbone(n)
+                            && positions[n.index()].distance_to(center) <= relay_radius
+                    });
+                    self.naive_built += 1;
+                    let cost = self.memoized_cost(key, Some(&tree), None);
+                    self.node_wake_seconds_naive += cost;
+                    self.node_wake_seconds += cost;
+                    self.naive_trees.insert((user, k), tree);
+                    None
+                }
+            };
+            self.active.insert(
+                (user, k),
+                ActiveQuery {
+                    center,
+                    installed_at: now,
+                    handle,
+                },
+            );
+        }
+    }
+
+    /// Wake-up cost of the tree for `key`, computed once per distinct key and
+    /// then served from the memo (tree content is a pure function of the key,
+    /// so the first computation stands for every later install of the key).
+    fn memoized_cost(
+        &mut self,
+        key: TreeKey,
+        naive_tree: Option<&FloodTree>,
+        handle: Option<TreeHandle>,
+    ) -> f64 {
+        if let Some(&cost) = self.tree_cost.get(&key) {
+            return cost;
+        }
+        let tree = naive_tree.unwrap_or_else(|| self.cache.tree(handle.expect("shared handle")));
+        let setup_airtime = self
+            .channel
+            .tx_duration(self.scenario.messages.setup_bytes)
+            .as_secs_f64();
+        let area = Circle::new(key.center(), self.scenario.query.radius_m);
+        let comm_range = self.scenario.radio.comm_range_m;
+        let mut cost = 0.0;
+        for idx in self.all_nodes_grid.query_circle(area) {
+            let node = NodeId(idx);
+            if self.plan.is_backbone(node) {
+                continue;
+            }
+            let pos = self.positions[idx];
+            let has_parent = self
+                .all_nodes_grid
+                .nearest_filtered(pos, |i| tree.contains(NodeId(i)))
+                .map(|(_, parent_pos)| parent_pos.distance_to(pos) <= comm_range)
+                .unwrap_or(false);
+            if has_parent {
+                // One buffered setup reception plus the nominal wake-up the
+                // node pays to take and forward its reading.
+                cost += setup_airtime + 0.010;
+            }
+        }
+        self.tree_cost.insert(key, cost);
+        cost
+    }
+
+    fn handle_query_resolve(&mut self, now: SimTime, user: u32, k: u64) {
+        let deadline = self.deadline(k);
+        let uq = &self.query_set.users()[user as usize];
+        let actual = uq.motion.position_at(deadline);
+        let area = Circle::new(actual, self.scenario.query.radius_m);
+        let mut nodes_in_area: Vec<NodeId> =
+            self.all_nodes_grid.query_circle(area).map(NodeId).collect();
+        // Sort so every scoring draw below happens in one deterministic order
+        // whatever the grid's internal iteration order.
+        nodes_in_area.sort_unstable();
+
+        let record = match self.active.remove(&(user, k)) {
+            None => QueryRecord::missed(k, deadline, nodes_in_area.len()),
+            Some(aq) => {
+                let mut rng = SimRng::seed_from_u64(mix_seed(
+                    self.scenario.seed,
+                    &[QUERY_STREAM, user as u64, k],
+                ));
+                let concurrency = self.query_set.active_users(k);
+                let loss_p = self
+                    .scenario
+                    .mac
+                    .loss_probability(concurrency.saturating_sub(1));
+                let tree = match aq.handle {
+                    Some(handle) => self.cache.tree(handle),
+                    None => &self.naive_trees[&(user, k)],
+                };
+                let contributing = Self::count_contributing(
+                    tree,
+                    &nodes_in_area,
+                    &aq,
+                    deadline,
+                    loss_p,
+                    &mut rng,
+                    &self.positions,
+                    &self.all_nodes_grid,
+                    &self.plan,
+                    &self.schedule,
+                    &self.channel,
+                    &self.scenario,
+                );
+                // The query retires: drop this install's tree reference.
+                match aq.handle {
+                    Some(handle) => {
+                        self.cache.release(handle);
+                    }
+                    None => {
+                        let tree = self
+                            .naive_trees
+                            .remove(&(user, k))
+                            .expect("naive tree present until resolve");
+                        self.naive_scratch.recycle(tree);
+                    }
+                }
+                QueryRecord {
+                    seq: k,
+                    deadline,
+                    delivered_at: Some(deadline),
+                    contributing_nodes: contributing,
+                    nodes_in_area: nodes_in_area.len(),
+                }
+            }
+        };
+        let _ = now;
+        self.logs[user as usize].push(record);
+    }
+
+    /// Scores one query against its installed tree. Deterministic given the
+    /// tree *content* — both sharing modes build bit-identical trees, iterate
+    /// the same sorted node list and draw from the same per-query stream, so
+    /// they count the same contributors.
+    #[allow(clippy::too_many_arguments)] // split borrows of the world's fields
+    fn count_contributing(
+        tree: &FloodTree,
+        nodes_in_area: &[NodeId],
+        aq: &ActiveQuery,
+        deadline: SimTime,
+        loss_p: f64,
+        rng: &mut SimRng,
+        positions: &[Point],
+        all_nodes_grid: &SpatialGrid,
+        plan: &PowerPlan,
+        schedule: &SleepSchedule,
+        channel: &Channel,
+        scenario: &Scenario,
+    ) -> usize {
+        let period_s = scenario.query.period.as_secs_f64();
+        let hop_s = channel
+            .tx_duration(scenario.messages.setup_bytes)
+            .as_secs_f64()
+            + 0.001;
+        let comm_range = scenario.radio.comm_range_m;
+        let window_s = schedule.active_window().as_secs_f64();
+        let mut contributing = 0;
+        for &node in nodes_in_area {
+            if plan.is_backbone(node) {
+                // Backbone: reached by the setup flood if in the tree and the
+                // flood's per-hop latency fits the one-period install lead.
+                let Some(depth) = tree.depth_of(node) else {
+                    continue;
+                };
+                if depth as f64 * hop_s <= period_s && !rng.gen_bool(loss_p) {
+                    contributing += 1;
+                }
+            } else {
+                // Duty-cycled: needs an in-tree relay in range and an active
+                // window (plus delivery jitter) before the deadline.
+                let pos = positions[node.index()];
+                let parent_in_range = all_nodes_grid
+                    .nearest_filtered(pos, |i| tree.contains(NodeId(i)))
+                    .map(|(_, parent_pos)| parent_pos.distance_to(pos) <= comm_range)
+                    .unwrap_or(false);
+                if !parent_in_range {
+                    continue;
+                }
+                let wake = schedule.next_awake_instant(aq.installed_at);
+                let jitter = rng.gen_range_f64(0.0, window_s * 0.5);
+                let delivered = SimTime::from_secs_f64(wake.as_secs_f64() + jitter);
+                if delivered <= deadline && !rng.gen_bool(loss_p) {
+                    contributing += 1;
+                }
+            }
+        }
+        let _ = aq.center;
+        contributing
+    }
+}
+
+impl World for MultiUserWorld {
+    type Event = MultiEvent;
+
+    fn handle(&mut self, now: SimTime, event: MultiEvent, queue: &mut EventQueue<MultiEvent>) {
+        match event {
+            MultiEvent::PeriodInstall { k } => self.handle_period_install(now, k, queue),
+            MultiEvent::QueryResolve { user, k } => self.handle_query_resolve(now, user, k),
+        }
+    }
+}
+
+/// Aggregated output of one multi-user run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiUserOutput {
+    /// Number of users simulated.
+    pub users: usize,
+    /// The sharing mode the run used.
+    pub sharing: TreeSharing,
+    /// Per-user success/fidelity, in fleet order.
+    pub per_user: Vec<UserSummary>,
+    /// The raw per-user query logs (index = fleet index). The equivalence
+    /// suite compares these byte for byte between sharing modes.
+    pub logs: Vec<QueryLog>,
+    /// Total query installs (= naive trees the baseline would build).
+    pub installs: u64,
+    /// Trees actually built under the selected mode.
+    pub trees_built: u64,
+    /// Cache acquisitions served by an existing tree (0 in naive mode).
+    pub shared_hits: u64,
+    /// Most trees simultaneously live (equals in-flight installs in naive
+    /// mode).
+    pub peak_live_trees: usize,
+    /// Sleeping-node wake seconds paid under the selected mode.
+    pub node_wake_seconds: f64,
+    /// Sleeping-node wake seconds the naive baseline pays for the same
+    /// installs.
+    pub node_wake_seconds_naive: f64,
+    /// Events processed by the engine.
+    pub events_processed: u64,
+    /// Backbone size of the deployment.
+    pub backbone_count: usize,
+    /// Deployment size.
+    pub node_count: usize,
+}
+
+impl MultiUserOutput {
+    /// Mean per-user success ratio (users that issued no query count as 0).
+    pub fn mean_success_ratio(&self) -> f64 {
+        if self.per_user.is_empty() {
+            return 0.0;
+        }
+        self.per_user.iter().map(|u| u.success_ratio).sum::<f64>() / self.per_user.len() as f64
+    }
+
+    /// Worst per-user success ratio — is *every* user served, not just the
+    /// average one?
+    pub fn min_success_ratio(&self) -> f64 {
+        self.per_user
+            .iter()
+            .map(|u| u.success_ratio)
+            .fold(f64::INFINITY, f64::min)
+            .min(1.0)
+    }
+
+    /// Mean per-user fidelity.
+    pub fn mean_fidelity(&self) -> f64 {
+        if self.per_user.is_empty() {
+            return 0.0;
+        }
+        self.per_user.iter().map(|u| u.mean_fidelity).sum::<f64>() / self.per_user.len() as f64
+    }
+
+    /// Trees built over trees the naive baseline builds, in `(0, 1]`:
+    /// 1.0 means no sharing happened, small values mean most installs joined
+    /// an existing tree.
+    pub fn sharing_ratio(&self) -> f64 {
+        if self.installs == 0 {
+            return 1.0;
+        }
+        self.trees_built as f64 / self.installs as f64
+    }
+}
+
+/// A fully constructed multi-user simulation, ready to run.
+#[derive(Debug)]
+pub struct MultiSimulation {
+    engine: Engine<MultiUserWorld>,
+    horizon: SimTime,
+}
+
+impl MultiSimulation {
+    /// Builds the deployment substrate (identical to the single-user
+    /// [`super::Simulation`], same RNG forks) and an `users`-strong query
+    /// set over it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when the scenario fails validation or
+    /// `users` is zero.
+    pub fn new(
+        scenario: Scenario,
+        users: usize,
+        sharing: TreeSharing,
+    ) -> Result<Self, ConfigError> {
+        scenario.validate()?;
+        if users == 0 {
+            return Err(ConfigError::new("a multi-user run needs at least one user"));
+        }
+        let mut rng = SimRng::seed_from_u64(scenario.seed);
+        let deployment = Deployment::build(&scenario, &mut rng)?;
+        let backbone_grid =
+            Deployment::backbone_grid(&deployment.positions, &deployment.plan, &scenario);
+        let query_set = QuerySet::generate(&scenario, users);
+        let schedule = scenario.sleep_schedule();
+        let channel = Channel::new(scenario.radio, scenario.mac);
+        let horizon = SimTime::from_secs_f64(scenario.query.lifetime.as_secs_f64() + 1.0);
+        let max_k = query_set.max_k();
+        let period = scenario.query.period;
+
+        let world = MultiUserWorld {
+            scenario,
+            positions: deployment.positions,
+            neighbors: deployment.neighbors,
+            plan: deployment.plan,
+            all_nodes_grid: deployment.all_nodes_grid,
+            backbone_grid,
+            schedule,
+            channel,
+            logs: vec![QueryLog::new(); query_set.len()],
+            query_set,
+            sharing,
+            cache: TreeCache::new(),
+            naive_scratch: FloodScratch::new(),
+            naive_trees: HashMap::new(),
+            naive_built: 0,
+            active: HashMap::new(),
+            tree_cost: HashMap::new(),
+            installs: 0,
+            node_wake_seconds: 0.0,
+            node_wake_seconds_naive: 0.0,
+        };
+        let mut engine = Engine::new(world);
+        // Install one period ahead of each deadline. Seeding every install
+        // upfront gives them lower sequence numbers than any event scheduled
+        // during the run, which is what orders period-(k+1) installs before
+        // period-k resolves at the shared instant k·T (temporal sharing).
+        for k in 1..=max_k {
+            let deadline = SimTime::ZERO + period * k;
+            engine
+                .queue_mut()
+                .schedule_at(deadline - period, MultiEvent::PeriodInstall { k });
+        }
+        Ok(MultiSimulation { engine, horizon })
+    }
+
+    /// The query set of this run.
+    pub fn query_set(&self) -> &QuerySet {
+        &self.engine.world().query_set
+    }
+
+    /// Runs to the end of the query lifetime and aggregates the output.
+    pub fn run(mut self) -> MultiUserOutput {
+        self.engine.run_until(self.horizon);
+        let events_processed = self.engine.events_processed();
+        let world = self.engine.into_world();
+        // Refcount discipline: every install was released at its resolve.
+        assert_eq!(
+            world.cache.live_trees(),
+            0,
+            "shared trees leaked past the last query"
+        );
+        assert!(
+            world.active.is_empty() && world.naive_trees.is_empty(),
+            "queries left unresolved at the end of the run"
+        );
+        let trees_built = match world.sharing {
+            TreeSharing::Shared => world.cache.trees_built(),
+            TreeSharing::Naive => world.naive_built,
+        };
+        let peak_live_trees = match world.sharing {
+            TreeSharing::Shared => world.cache.peak_live_trees(),
+            // The naive baseline keeps one tree per in-flight install; its
+            // peak equals the largest per-period batch (installs overlap one
+            // period at the k·T handover).
+            TreeSharing::Naive => (1..=world.query_set.max_k())
+                .map(|k| {
+                    world.query_set.active_users(k)
+                        + world
+                            .query_set
+                            .active_users(k + 1)
+                            .min(if k == world.query_set.max_k() {
+                                0
+                            } else {
+                                usize::MAX
+                            })
+                })
+                .max()
+                .unwrap_or(0),
+        };
+        MultiUserOutput {
+            users: world.query_set.len(),
+            sharing: world.sharing,
+            per_user: summarize_users(&world.logs, world.scenario.fidelity_threshold),
+            installs: world.installs,
+            trees_built,
+            shared_hits: world.cache.shared_hits(),
+            peak_live_trees,
+            node_wake_seconds: world.node_wake_seconds,
+            node_wake_seconds_naive: world.node_wake_seconds_naive,
+            events_processed,
+            backbone_count: world.plan.backbone_count(),
+            node_count: world.positions.len(),
+            logs: world.logs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Scheme;
+
+    fn small_scenario(seed: u64) -> Scenario {
+        Scenario::paper_default()
+            .with_node_count(80)
+            .with_region_side(300.0)
+            .with_duration_secs(40.0)
+            .with_scheme(Scheme::JustInTime)
+            .with_seed(seed)
+    }
+
+    fn run(seed: u64, users: usize, sharing: TreeSharing) -> MultiUserOutput {
+        MultiSimulation::new(small_scenario(seed), users, sharing)
+            .unwrap()
+            .run()
+    }
+
+    #[test]
+    fn query_set_is_deterministic_and_staggered() {
+        let scenario = small_scenario(3);
+        let a = QuerySet::generate(&scenario, 8);
+        let b = QuerySet::generate(&scenario, 8);
+        assert_eq!(a, b);
+        assert_eq!(a.users()[0].first_k, 1);
+        assert_eq!(a.users()[0].last_k, a.max_k());
+        assert!(
+            a.users()[1..]
+                .iter()
+                .any(|u| u.first_k > 1 || u.last_k < a.max_k()),
+            "later users should have staggered lifetimes"
+        );
+        for u in a.users() {
+            assert!(u.first_k >= 1 && u.first_k <= u.last_k && u.last_k <= a.max_k());
+        }
+        for k in 1..=a.max_k() {
+            assert!(a.active_users(k) >= 1, "user 0 spans every period");
+        }
+    }
+
+    #[test]
+    fn shared_and_naive_runs_are_result_identical_per_user() {
+        for seed in [1, 5, 9] {
+            let shared = run(seed, 6, TreeSharing::Shared);
+            let naive = run(seed, 6, TreeSharing::Naive);
+            assert_eq!(shared.logs, naive.logs, "seed {seed}: per-user logs differ");
+            assert_eq!(shared.per_user, naive.per_user);
+            assert_eq!(shared.installs, naive.installs);
+            assert_eq!(
+                naive.trees_built, naive.installs,
+                "naive builds per install"
+            );
+            assert!(shared.trees_built <= naive.trees_built);
+            assert!(shared.node_wake_seconds <= naive.node_wake_seconds + 1e-9);
+            assert_eq!(
+                shared.node_wake_seconds_naive, naive.node_wake_seconds_naive,
+                "both modes charge the same baseline wake cost"
+            );
+        }
+    }
+
+    #[test]
+    fn sharing_kicks_in_with_overlapping_users() {
+        // 300 m region, 150 m cells → a 2×2 lattice: 12 users must collide.
+        let out = run(2, 12, TreeSharing::Shared);
+        assert!(
+            out.sharing_ratio() < 1.0,
+            "expected tree sharing, got ratio {}",
+            out.sharing_ratio()
+        );
+        assert!(out.shared_hits > 0);
+        assert!(out.trees_built < out.installs);
+        assert!(out.node_wake_seconds < out.node_wake_seconds_naive);
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_outputs() {
+        let a = run(7, 5, TreeSharing::Shared);
+        let b = run(7, 5, TreeSharing::Shared);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_user_runs_and_scores_every_period() {
+        let out = run(4, 1, TreeSharing::Shared);
+        assert_eq!(out.users, 1);
+        assert_eq!(out.logs[0].len() as u64, out.installs);
+        assert_eq!(out.logs[0].len(), 20, "40 s at 2 s per period");
+        assert!(out.mean_fidelity() > 0.0);
+        assert!(out.backbone_count > 0);
+    }
+
+    #[test]
+    fn zero_users_is_rejected() {
+        assert!(MultiSimulation::new(small_scenario(1), 0, TreeSharing::Shared).is_err());
+    }
+
+    #[test]
+    fn per_user_logs_cover_each_users_window() {
+        let out = run(6, 6, TreeSharing::Shared);
+        let set = QuerySet::generate(&small_scenario(6), 6);
+        for (log, user) in out.logs.iter().zip(set.users()) {
+            assert_eq!(log.len() as u64, user.query_count());
+            assert_eq!(log.records()[0].seq, user.first_k);
+            assert_eq!(log.records().last().unwrap().seq, user.last_k);
+        }
+    }
+}

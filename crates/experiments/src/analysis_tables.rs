@@ -9,8 +9,9 @@
 
 use mobiquery::analysis::{
     contention_speed_threshold_mps, interference_length_greedy, interference_length_jit,
-    paper_prefetch_speed_mph, prefetch_length_greedy, prefetch_length_jit,
-    storage_crossover_lifetime_s, warmup_interval_approx_s, warmup_interval_s, AnalysisParams,
+    interference_length_jit_n, paper_prefetch_speed_mph, prefetch_length_greedy,
+    prefetch_length_jit, shared_interference_length_jit, storage_crossover_lifetime_s,
+    warmup_interval_approx_s, warmup_interval_s, AnalysisParams,
 };
 use wsn_geom::mps_to_mph;
 use wsn_metrics::{JsonValue, Table};
@@ -98,6 +99,25 @@ pub fn warmup_table() -> Table {
     t
 }
 
+/// The N-user extension of the Section 5.4 contention example: interfering
+/// JIT trees for a fleet of co-located users, one tree per user (naive)
+/// versus multiplexed through the shared tree cache.
+pub fn multiuser_contention_table() -> Table {
+    let p = AnalysisParams::contention_example();
+    let mut t = Table::with_columns(
+        "Section 5.4 (N users): interfering JIT trees, naive vs shared cache",
+        &["users", "M_jit naive", "M_jit shared"],
+    );
+    for n in [1u64, 10, 100] {
+        t.push_row(vec![
+            n.to_string(),
+            interference_length_jit_n(&p, n).to_string(),
+            shared_interference_length_jit(&p).to_string(),
+        ]);
+    }
+    t
+}
+
 /// All analytical tables, in presentation order.
 pub fn run() -> Vec<Table> {
     run_parallel(1)
@@ -110,9 +130,10 @@ pub fn run() -> Vec<Table> {
 /// execution path as the figure sweeps, and the output is independent of
 /// `jobs` by the pool's input-order guarantee.
 pub fn run_parallel(jobs: usize) -> Vec<Table> {
-    pool::run_indexed(jobs, vec![0, 1, 2], |_, which| match which {
+    pool::run_indexed(jobs, vec![0, 1, 2, 3], |_, which| match which {
         0 => storage_table(),
         1 => contention_table(),
+        2 => multiuser_contention_table(),
         _ => warmup_table(),
     })
 }
@@ -133,7 +154,16 @@ mod tests {
         let contention = contention_table().to_csv();
         // v* ≈ 131 mph appears in the table.
         assert!(contention.contains("v*"));
-        assert_eq!(run().len(), 3);
+        assert_eq!(run().len(), 4);
+    }
+
+    #[test]
+    fn multiuser_contention_table_pins_the_shared_advantage() {
+        let csv = multiuser_contention_table().to_csv();
+        // Naive interference scales with the fleet; the shared cache stays
+        // at the single-user Mjit = 3 whatever n is.
+        assert!(csv.contains("100,300,3"), "unexpected table: {csv}");
+        assert!(csv.contains("1,3,3"));
     }
 
     #[test]

@@ -26,6 +26,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod multiuser;
 pub mod runner;
 pub mod scale;
 
@@ -48,6 +49,9 @@ pub struct ExperimentConfig {
     /// Worker threads for cross-trial fan-out (see [`wsn_sim::pool`]).
     /// Results do not depend on this; only wall-clock does.
     pub jobs: usize,
+    /// Largest fleet size of the [`multiuser`] sweep (`--users`); the sweep
+    /// ladders up to it in powers of two.
+    pub users: usize,
 }
 
 impl ExperimentConfig {
@@ -58,6 +62,7 @@ impl ExperimentConfig {
             runs: 3,
             base_seed: 42,
             jobs: 1,
+            users: 64,
         }
     }
 
@@ -68,6 +73,7 @@ impl ExperimentConfig {
             runs: 1,
             base_seed: 42,
             jobs: 1,
+            users: 8,
         }
     }
 
@@ -75,6 +81,13 @@ impl ExperimentConfig {
     /// fan-out. Pass [`wsn_sim::pool::available_jobs`] to use every core.
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Returns the configuration with the multi-user sweep laddering up to
+    /// `users` concurrent users.
+    pub fn with_users(mut self, users: usize) -> Self {
+        self.users = users.max(1);
         self
     }
 

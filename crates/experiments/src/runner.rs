@@ -29,22 +29,21 @@ use wsn_sim::stats::Summary;
 /// Derives the RNG seed for one trial from the experiment's base seed and
 /// the trial's plan coordinates.
 ///
-/// The derivation is a SplitMix64-style finalizer over the three inputs, so
-/// nearby coordinates (adjacent points, adjacent replicates) still get
-/// statistically independent streams — unlike the additive `base_seed + r`
-/// scheme this replaces, which reused the same seeds at every point. The
-/// function is pure: the seed depends only on `(base_seed, point_index,
-/// replicate)`, never on execution order, which is what makes parallel and
-/// serial execution bit-identical.
+/// The derivation is [`wsn_sim::mix_seed`] — a SplitMix64-style finalizer
+/// over the three inputs, so nearby coordinates (adjacent points, adjacent
+/// replicates) still get statistically independent streams — unlike the
+/// additive `base_seed + r` scheme this replaces, which reused the same seeds
+/// at every point. The function is pure: the seed depends only on
+/// `(base_seed, point_index, replicate)`, never on execution order, which is
+/// what makes parallel and serial execution bit-identical. The multi-user
+/// simulation derives its per-user and per-query streams through the same
+/// mixer (with distinct stream tags), so one scheme covers the whole
+/// workspace; the exact output is pinned by `tests/parallel_determinism.rs`.
 pub fn trial_seed(base_seed: u64, point_index: usize, replicate: u64) -> u64 {
-    let mut z = base_seed;
-    for word in [0x9E37_79B9_7F4A_7C15, point_index as u64, replicate] {
-        z = z.wrapping_add(word).wrapping_add(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^= z >> 31;
-    }
-    z
+    wsn_sim::mix_seed(
+        base_seed,
+        &[0x9E37_79B9_7F4A_7C15, point_index as u64, replicate],
+    )
 }
 
 /// One simulation trial: a fully configured scenario plus the plan

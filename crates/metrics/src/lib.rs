@@ -22,11 +22,13 @@
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod multiuser;
 pub mod query;
 pub mod series;
 pub mod table;
 
 pub use json::JsonValue;
+pub use multiuser::{summarize_users, UserSummary};
 pub use query::{QueryLog, QueryRecord};
 pub use series::Series;
 pub use table::Table;

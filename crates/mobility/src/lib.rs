@@ -27,12 +27,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fleet;
 pub mod gps;
 pub mod path;
 pub mod profile;
 pub mod source;
 pub mod user;
 
+pub use fleet::{generate_fleet, FleetMember, FLEET_STREAM};
 pub use gps::GpsModel;
 pub use path::{MotionLeg, MotionPath};
 pub use profile::MotionProfile;

@@ -34,6 +34,7 @@ pub mod node;
 pub mod psm;
 pub mod radio;
 pub mod routing;
+pub mod tree_cache;
 
 pub use channel::Channel;
 pub use flood::{FloodScratch, FloodTree};
@@ -43,3 +44,4 @@ pub use node::{NodeId, NodeRole};
 pub use psm::SleepSchedule;
 pub use radio::{RadioConfig, RadioPowerProfile, RadioState};
 pub use routing::{greedy_next_hop, route_greedy, RouteError, RoutePath};
+pub use tree_cache::{TreeCache, TreeHandle, TreeKey};

@@ -1,0 +1,170 @@
+//! Property-based reference-equivalence suite for the [`TreeCache`].
+//!
+//! The cache multiplexes many users' query installs onto shared flood trees;
+//! the naive reference builds one fresh tree per install. These properties
+//! pin the two contracts the multi-user event loop relies on:
+//!
+//! 1. **Result identity** — for any random deployment, user count, set of
+//!    (overlapping) pickup points and staggered query lifetimes, the tree a
+//!    user gets from the shared cache equals, field for field, the tree the
+//!    naive path would build for the same install.
+//! 2. **Refcount discipline** — a tree's slot is freed exactly when its last
+//!    holder releases it: never before (no premature free while a query is
+//!    outstanding), never after (no leak once every query retires).
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use wsn_geom::{Point, Rect};
+use wsn_net::{FloodScratch, NeighborTable, NodeId, TreeCache, TreeHandle, TreeKey};
+
+const SIDE: f64 = 450.0;
+const COMM_RANGE: f64 = 105.0;
+/// Pickup-quantisation cell, mirroring the event loop's `Rq`-sized lattice.
+const CELL: f64 = 150.0;
+
+fn deployment(coords: &[(f64, f64)]) -> (Vec<Point>, NeighborTable) {
+    let positions: Vec<Point> = coords.iter().map(|&(x, y)| Point::new(x, y)).collect();
+    let table = NeighborTable::build(&positions, Rect::square(SIDE), COMM_RANGE);
+    (positions, table)
+}
+
+/// Quantises a raw pickup point the way the multi-user loop does and derives
+/// the install key: collector = nearest node to the cell centre (linear scan
+/// — the reference doesn't need a spatial index), radius = `Rq + Rc`.
+fn install_key(positions: &[Point], pickup: (f64, f64)) -> TreeKey {
+    let snap = |v: f64| ((v / CELL).floor() * CELL + CELL / 2.0).clamp(0.0, SIDE);
+    let center = Point::new(snap(pickup.0), snap(pickup.1));
+    let collector = (0..positions.len())
+        .min_by(|&a, &b| {
+            positions[a]
+                .distance_to(center)
+                .total_cmp(&positions[b].distance_to(center))
+        })
+        .expect("non-empty deployment");
+    TreeKey::new(NodeId(collector), center, CELL + COMM_RANGE)
+}
+
+/// The membership predicate both paths build with: derived purely from the
+/// key, as the cache's contract requires.
+fn member_of(positions: &[Point], key: TreeKey) -> impl Fn(NodeId) -> bool + '_ {
+    move |n: NodeId| positions[n.index()].distance_to(key.center()) <= key.radius_m()
+}
+
+/// One user's staggered query lifetime: queries are installed in periods
+/// `first..first + len` and each install is released one period later.
+#[derive(Debug, Clone)]
+struct Lifetime {
+    pickup: (f64, f64),
+    first: usize,
+    len: usize,
+}
+
+fn lifetimes() -> impl Strategy<Value = Vec<Lifetime>> {
+    proptest::collection::vec(
+        ((0.0f64..SIDE, 0.0f64..SIDE), 0usize..6, 1usize..5)
+            .prop_map(|(pickup, first, len)| Lifetime { pickup, first, len }),
+        1..8,
+    )
+}
+
+proptest! {
+    /// Shared trees are field-for-field identical to fresh naive builds, for
+    /// every user and every period of a staggered multi-user schedule — and
+    /// the cache frees each tree exactly when its last holder retires.
+    #[test]
+    fn shared_trees_match_naive_reference_across_staggered_lifetimes(
+        coords in proptest::collection::vec((0.0f64..SIDE, 0.0f64..SIDE), 2..50),
+        users in lifetimes(),
+    ) {
+        let (positions, table) = deployment(&coords);
+        let mut cache = TreeCache::new();
+        let mut naive = FloodScratch::new();
+        // Mirror of the expected refcount per key, maintained independently.
+        let mut expected_refs: HashMap<TreeKey, u32> = HashMap::new();
+        // Handles held by (user, period) installs, released one period later.
+        let mut held: Vec<(TreeKey, TreeHandle)> = Vec::new();
+        let last_period = users.iter().map(|u| u.first + u.len).max().unwrap();
+
+        for period in 0..=last_period {
+            // Install phase: every user whose window covers this period.
+            for user in users.iter().filter(|u| (u.first..u.first + u.len).contains(&period)) {
+                let key = install_key(&positions, user.pickup);
+                let before = cache.trees_built();
+                let (handle, built) =
+                    cache.acquire(key, &table, member_of(&positions, key));
+                // A build happens exactly on the first concurrent holder.
+                let refs = expected_refs.entry(key).or_insert(0);
+                prop_assert_eq!(built, *refs == 0, "build iff no holder, key {:?}", key);
+                prop_assert_eq!(cache.trees_built(), before + u64::from(built));
+                *refs += 1;
+                prop_assert_eq!(cache.refs(handle), *refs);
+
+                // Result identity: the shared tree equals a fresh naive build
+                // for the same install, byte for byte (PartialEq covers
+                // parents, depths and the full discovery order).
+                let reference = naive.build(key.root(), &table, member_of(&positions, key));
+                prop_assert_eq!(cache.tree(handle), &reference, "user tree != naive reference");
+                naive.recycle(reference);
+
+                held.push((key, handle));
+            }
+            // Retire phase: installs from the previous period release.
+            let retiring: Vec<(TreeKey, TreeHandle)> = {
+                let split = held.len().saturating_sub(
+                    users
+                        .iter()
+                        .filter(|u| (u.first..u.first + u.len).contains(&period))
+                        .count(),
+                );
+                held.drain(..split).collect()
+            };
+            for (key, handle) in retiring {
+                let refs = expected_refs.get_mut(&key).unwrap();
+                *refs -= 1;
+                let freed = cache.release(handle);
+                // Freed exactly when the mirror count hits zero.
+                prop_assert_eq!(freed, *refs == 0, "free iff last holder, key {:?}", key);
+                prop_assert_eq!(cache.refs(handle), *refs);
+            }
+            prop_assert_eq!(
+                cache.live_trees(),
+                expected_refs.values().filter(|&&r| r > 0).count()
+            );
+        }
+
+        // Drain what is still held: the last release of each key must free it.
+        for (key, handle) in held.drain(..) {
+            let refs = expected_refs.get_mut(&key).unwrap();
+            *refs -= 1;
+            prop_assert_eq!(cache.release(handle), *refs == 0);
+        }
+        prop_assert_eq!(cache.live_trees(), 0, "trees leaked past the last retire");
+        // Every acquisition was either a build or a genuine share.
+        prop_assert_eq!(
+            cache.trees_built() + cache.shared_hits(),
+            users.iter().map(|u| u.len as u64).sum::<u64>()
+        );
+    }
+
+    /// Re-acquiring a key after its tree was freed rebuilds a tree identical
+    /// to the first build — the free/rebuild cycle loses nothing.
+    #[test]
+    fn rebuild_after_free_is_identical(
+        coords in proptest::collection::vec((0.0f64..SIDE, 0.0f64..SIDE), 2..40),
+        pickup in (0.0f64..SIDE, 0.0f64..SIDE),
+    ) {
+        let (positions, table) = deployment(&coords);
+        let key = install_key(&positions, pickup);
+        let mut cache = TreeCache::new();
+        let (first, built) = cache.acquire(key, &table, member_of(&positions, key));
+        prop_assert!(built);
+        let snapshot = cache.tree(first).clone();
+        prop_assert!(cache.release(first), "sole holder's release frees");
+        let (second, rebuilt) = cache.acquire(key, &table, member_of(&positions, key));
+        prop_assert!(rebuilt, "freed key must rebuild, not resurrect");
+        prop_assert_eq!(cache.tree(second), &snapshot);
+        cache.release(second);
+        prop_assert_eq!(cache.trees_built(), 2);
+        prop_assert_eq!(cache.shared_hits(), 0);
+    }
+}

@@ -60,5 +60,5 @@ mod time;
 
 pub use engine::{Engine, RunOutcome, World};
 pub use event::{EventQueue, ScheduledEvent};
-pub use rng::SimRng;
+pub use rng::{mix_seed, SimRng};
 pub use time::{Duration, SimTime};

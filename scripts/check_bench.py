@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Sanity-check a mobiquery-repro/bench/v4 document.
+
+Shared by ci.sh and .github/workflows/ci.yml so the schema contract and the
+committed baseline figures live in exactly one place. Asserts:
+
+* header metadata (schema, host cores, the --users fleet ceiling);
+* the per-phase setup breakdown of every scale entry, with the
+  coverage-raster election's `ccp_ms` bounded by the *whole* pre-raster
+  setup figure committed for the same deployment size (bench/v2 values;
+  generous by an order of magnitude on a quiet machine, so this only fires
+  on a real regression);
+* the multi-user section: per-entry fleet/tree/success fields, the naive
+  baseline building one tree per install, and — at fleets of 100+ users —
+  the shared cache building strictly fewer trees than the naive
+  one-tree-per-user reference.
+"""
+
+import json
+import sys
+
+# Whole-setup wall-clock (ms) committed in the last bench/v2 snapshot, i.e.
+# before the coverage raster, per deployment size (max of jit/np).
+OLD_WHOLE_SETUP_MS = {
+    1000: 19.05,
+    2000: 38.0,
+    5000: 100.97,
+    10000: 182.3,
+    20000: 389.54,
+}
+
+MULTIUSER_FIELDS = (
+    "users",
+    "installs",
+    "trees_built_shared",
+    "trees_built_naive",
+    "sharing_ratio",
+    "mean_success_ratio",
+    "min_success_ratio",
+    "mean_fidelity",
+    "node_wake_seconds_shared",
+    "node_wake_seconds_naive",
+)
+
+
+def check_scale(doc):
+    for entry in doc["scale"]:
+        nodes = entry["nodes"]
+        for scheme in ("jit", "np"):
+            setup = entry[scheme]["setup"]
+            for field in ("neighbor_ms", "ccp_ms", "plan_ms"):
+                assert field in setup, f"{nodes}/{scheme}: missing setup.{field}"
+            bound = OLD_WHOLE_SETUP_MS.get(nodes)
+            if bound is not None:
+                assert setup["ccp_ms"] <= bound, (
+                    f"{nodes}/{scheme}: ccp_ms {setup['ccp_ms']} exceeds the "
+                    f"pre-raster whole-setup figure {bound} ms"
+                )
+
+
+def check_multiuser(doc):
+    entries = doc["multiuser"]
+    if doc["scale"]:
+        assert entries, "a --scale bench must carry the multiuser sweep"
+    for entry in entries:
+        users = entry.get("users", 0)
+        for field in MULTIUSER_FIELDS:
+            assert field in entry, f"multiuser/{users}: missing {field}"
+        assert entry["trees_built_naive"] == entry["installs"], (
+            f"multiuser/{users}: the naive reference must build one tree per "
+            f"install, got {entry['trees_built_naive']} for {entry['installs']}"
+        )
+        assert (
+            entry["trees_built_shared"] <= entry["trees_built_naive"]
+        ), f"multiuser/{users}: shared cache built MORE trees than naive"
+        assert 0.0 <= entry["min_success_ratio"] <= entry["mean_success_ratio"] <= 1.0
+    if entries:
+        big = [e for e in entries if e["users"] >= 100]
+        assert big, "multiuser sweep must include a fleet of 100+ users"
+        for entry in big:
+            assert entry["trees_built_shared"] < entry["trees_built_naive"], (
+                f"multiuser/{entry['users']}: at 100+ users the shared cache "
+                f"must build strictly fewer trees than one-per-user "
+                f"({entry['trees_built_shared']} vs {entry['trees_built_naive']})"
+            )
+
+
+def main(path):
+    with open(path) as f:
+        doc = json.load(f)
+    assert doc["schema"] == "mobiquery-repro/bench/v4", doc["schema"]
+    assert doc.get("host_cores", 0) >= 1, "host_cores missing from bench header"
+    assert doc.get("users", 0) >= 1, "users missing from bench header"
+    check_scale(doc)
+    check_multiuser(doc)
+    print("bench/v4 setup breakdown + multiuser tree economy OK")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "BENCH_repro.json")

@@ -11,13 +11,16 @@
 //! output is byte-identical whatever the job count — CI diffs `--jobs 1`
 //! against `--jobs 4` to enforce exactly that.
 
-use mobiquery_experiments::{analysis_tables, fig4, fig5, fig6, fig7, fig8, ExperimentConfig};
+use mobiquery_experiments::runner::trial_seed;
+use mobiquery_experiments::{
+    analysis_tables, fig4, fig5, fig6, fig7, fig8, multiuser, scale, ExperimentConfig,
+};
 use std::process::ExitCode;
 use std::time::Instant;
 use wsn_metrics::JsonValue;
 use wsn_sim::pool;
 
-const USAGE: &str = "usage: repro [options] <fig4|fig5|fig6|fig7|fig8|analysis|all>
+const USAGE: &str = "usage: repro [options] <fig4|fig5|fig6|fig7|fig8|analysis|multiuser|all>
 
 Regenerates the MobiQuery paper's evaluation figures as tables/series.
 
@@ -26,6 +29,10 @@ Options:
   --runs N           topologies averaged per data point (default 3 full / 1 quick)
   --jobs N           worker threads for the trial fan-out (default: all cores);
                      results are byte-identical for every N
+  --users N          largest fleet of the multiuser sweep (default 8 quick /
+                     64 full); the sweep ladders up to N in powers of two, and
+                     every trial cross-checks shared flood trees against the
+                     naive one-tree-per-user reference
   --format FMT       output format: text (default) or json
   --out PATH         write the output to PATH instead of stdout
   --bench PATH       time every requested target serial (--jobs 1) vs parallel,
@@ -36,10 +43,20 @@ Options:
                      1000,2000,5000,10000,20000 at constant density), timing a
                      full run of both schemes plus an indexed-vs-linear
                      nearest-backbone micro-comparison per size, recorded in
-                     the bench document's \"scale\" section
+                     the bench document's \"scale\" section; the largest size
+                     also hosts the shared-vs-naive multi-user tree sweep in
+                     the \"multiuser\" section
   -h, --help         print this help and exit";
 
-const ALL_TARGETS: [&str; 6] = ["analysis", "fig4", "fig5", "fig6", "fig7", "fig8"];
+const ALL_TARGETS: [&str; 7] = [
+    "analysis",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "multiuser",
+];
 
 #[derive(Clone, Copy, PartialEq)]
 enum Format {
@@ -69,6 +86,7 @@ fn target_text(name: &str, config: &ExperimentConfig) -> Option<String> {
         "fig6" => format!("{}\n", fig6::run(config)),
         "fig7" => format!("{}\n", fig7::run(config)),
         "fig8" => format!("{}\n", fig8::run(config)),
+        "multiuser" => format!("{}\n", multiuser::run(config)),
         "analysis" => {
             let mut s = String::new();
             for table in analysis_tables::run_parallel(config.jobs) {
@@ -89,6 +107,7 @@ fn target_json(name: &str, config: &ExperimentConfig) -> Option<JsonValue> {
         "fig6" => fig6::run_json(config),
         "fig7" => fig7::run_json(config),
         "fig8" => fig8::run_json(config),
+        "multiuser" => multiuser::run_json(config),
         "analysis" => analysis_tables::run_json(config.jobs),
         _ => return None,
     };
@@ -154,20 +173,47 @@ fn bench_json(
     let scale = if scales.is_empty() {
         JsonValue::Array(Vec::new())
     } else {
-        mobiquery_experiments::scale::run(scales, config.base_seed)
+        scale::run(scales, config.base_seed)
+    };
+    // The shared-vs-naive tree sweep rides on the largest requested scale:
+    // that is where the one-tree-per-user baseline hurts most and where the
+    // committed trajectory must show trees_built(shared) < trees_built(naive).
+    let multiuser = match scales.iter().max() {
+        None => JsonValue::Array(Vec::new()),
+        Some(&nodes) => {
+            let mut ladder: Vec<usize> = [1, 10, 100, config.users]
+                .into_iter()
+                .filter(|&u| u >= 1)
+                .collect();
+            ladder.sort_unstable();
+            ladder.dedup();
+            let base_seed = config.base_seed;
+            multiuser::bench_sweep(
+                |point| {
+                    scale::scale_scenario(
+                        nodes,
+                        mobiquery::config::Scheme::JustInTime,
+                        trial_seed(base_seed, point as usize, 0),
+                    )
+                },
+                &ladder,
+            )
+        }
     };
     Some(
         JsonValue::object()
-            .with("schema", "mobiquery-repro/bench/v3")
+            .with("schema", "mobiquery-repro/bench/v4")
             .with("mode", if config.quick { "quick" } else { "full" })
             .with("runs", config.runs)
+            .with("users", config.users)
             // Per-figure speedup numbers are only interpretable relative to
             // the host: on a 1-core container the parallel path is pure
             // overhead and speedup < 1 is expected.
             .with("host_cores", pool::available_jobs())
             .with("parallel_jobs", config.jobs)
             .with("figures", figures)
-            .with("scale", scale),
+            .with("scale", scale)
+            .with("multiuser", multiuser),
     )
 }
 
@@ -195,6 +241,7 @@ fn main() -> ExitCode {
     let mut quick = false;
     let mut runs: Option<u64> = None;
     let mut jobs: Option<usize> = None;
+    let mut users: Option<usize> = None;
     let mut format: Option<Format> = None;
     let mut out_path: Option<String> = None;
     let mut bench_path: Option<String> = None;
@@ -211,6 +258,10 @@ fn main() -> ExitCode {
             },
             "--jobs" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) if n >= 1 => jobs = Some(n),
+                _ => return bad_usage(),
+            },
+            "--users" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => users = Some(n),
                 _ => return bad_usage(),
             },
             "--format" => match args.next().as_deref() {
@@ -264,6 +315,9 @@ fn main() -> ExitCode {
         config.runs = n.max(1);
     }
     config = config.with_jobs(jobs.unwrap_or_else(pool::available_jobs));
+    if let Some(n) = users {
+        config = config.with_users(n);
+    }
 
     let expanded: Vec<String> = if targets.iter().any(|t| t == "all") {
         ALL_TARGETS.iter().map(|s| s.to_string()).collect()

@@ -1,0 +1,61 @@
+//! Golden-snapshot gate for the multi-user target: `repro --quick --format
+//! json multiuser` must keep producing byte-identical output.
+//!
+//! This pins the whole multiplexing stack — fleet generation, staggered
+//! lifetimes, the quantised pickup lattice, the shared tree cache and the
+//! per-query scoring streams — against a committed snapshot, exactly as
+//! `golden_fig4.rs` pins the single-user path. Every sweep trial internally
+//! cross-checks the shared cache against the naive one-tree-per-user
+//! reference, so these bytes also certify that equivalence held.
+//!
+//! To update the snapshot after a *deliberate* behaviour change:
+//!
+//! ```text
+//! cargo run --release --bin repro -- --quick --format json \
+//!     --out tests/golden/multiuser_quick.json multiuser
+//! ```
+
+use std::process::Command;
+
+const GOLDEN: &str = include_str!("golden/multiuser_quick.json");
+
+#[test]
+fn repro_quick_multiuser_json_matches_golden_snapshot() {
+    let output = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["--quick", "--format", "json", "multiuser"])
+        .output()
+        .expect("repro binary runs");
+    assert!(
+        output.status.success(),
+        "repro exited with {:?}: {}",
+        output.status,
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let got = String::from_utf8(output.stdout).expect("repro emits UTF-8 JSON");
+    if got != GOLDEN {
+        let line = got
+            .lines()
+            .zip(GOLDEN.lines())
+            .position(|(a, b)| a != b)
+            .map(|i| i + 1)
+            .unwrap_or_else(|| got.lines().count().min(GOLDEN.lines().count()) + 1);
+        panic!(
+            "multiuser quick JSON diverged from tests/golden/multiuser_quick.json at line \
+             {line}.\nTree sharing must not change per-user results; if this change is \
+             deliberate, regenerate the snapshot (see this test's module docs)."
+        );
+    }
+}
+
+#[test]
+fn repro_quick_multiuser_is_jobs_invariant() {
+    let run = |jobs: &str| {
+        let output = Command::new(env!("CARGO_BIN_EXE_repro"))
+            .args(["--quick", "--format", "json", "--jobs", jobs, "multiuser"])
+            .output()
+            .expect("repro binary runs");
+        assert!(output.status.success());
+        output.stdout
+    };
+    assert_eq!(run("1"), run("3"), "--jobs must never change results");
+}

@@ -4,8 +4,9 @@
 //! JSON output byte-for-byte against `--jobs 1`.
 
 use mobiquery_repro::experiments::runner::trial_seed;
-use mobiquery_repro::experiments::{fig4, fig8, ExperimentConfig};
+use mobiquery_repro::experiments::{fig4, fig8, multiuser, ExperimentConfig};
 use mobiquery_repro::sim::pool;
+use std::process::Command;
 
 #[test]
 fn fig4_points_are_identical_serial_and_parallel() {
@@ -23,6 +24,45 @@ fn fig8_json_is_identical_serial_and_parallel() {
     let serial = fig8::run_json(&ExperimentConfig::quick().with_jobs(1));
     let parallel = fig8::run_json(&ExperimentConfig::quick().with_jobs(3));
     assert_eq!(serial.to_pretty_string(), parallel.to_pretty_string());
+}
+
+#[test]
+fn multiuser_points_are_identical_serial_and_parallel() {
+    // The multi-user sweep runs shared and naive modes per trial and asserts
+    // them equal internally; here we pin that the *fan-out* is also invisible.
+    let config = ExperimentConfig::quick().with_users(4);
+    let serial = multiuser::run_points(&config.with_jobs(1));
+    let parallel = multiuser::run_points(&config.with_jobs(4));
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn multiuser_binary_is_jobs_invariant_at_64_users() {
+    // The CI gate, pinned as a test: a 64-user quick sweep through the full
+    // CLI path must emit byte-identical JSON for --jobs 1 and --jobs 4.
+    let run = |jobs: &str| {
+        let output = Command::new(env!("CARGO_BIN_EXE_repro"))
+            .args([
+                "--quick",
+                "--users",
+                "64",
+                "--format",
+                "json",
+                "--jobs",
+                jobs,
+                "multiuser",
+            ])
+            .output()
+            .expect("repro binary runs");
+        assert!(
+            output.status.success(),
+            "repro exited with {:?}: {}",
+            output.status,
+            String::from_utf8_lossy(&output.stderr)
+        );
+        output.stdout
+    };
+    assert_eq!(run("1"), run("4"), "--jobs must never change results");
 }
 
 #[test]
