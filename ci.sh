@@ -51,6 +51,21 @@ run cargo run --release -q --bin repro -- --quick --users 64 --format json \
     --jobs 4 --out target/repro-mu-jobs4.json multiuser
 run cmp target/repro-mu-jobs1.json target/repro-mu-jobs4.json
 
+# Service smoke: the long-lived query path must share the same determinism
+# contract as the batch runs — a fixed seed yields byte-identical JSON
+# whatever the worker count (--jobs is accepted and validated so the diff
+# below exercises the same argv shape as the batch gates).
+run cargo run --release -q --bin repro -- serve --periods 8 --quick \
+    --jobs 1 --out target/serve-jobs1.json
+run cargo run --release -q --bin repro -- serve --periods 8 --quick \
+    --jobs 4 --out target/serve-jobs4.json
+run cmp target/serve-jobs1.json target/serve-jobs4.json
+run cargo run --release -q --bin repro -- load --qps 4 --duration 40 \
+    --nodes 1000 --jobs 1 --out target/load-jobs1.json
+run cargo run --release -q --bin repro -- load --qps 4 --duration 40 \
+    --nodes 1000 --jobs 4 --out target/load-jobs4.json
+run cmp target/load-jobs1.json target/load-jobs4.json
+
 # Bench trajectory: quick-mode per-figure wall clock (serial vs parallel)
 # plus a small --scale smoke sweep (the committed snapshot carries the full
 # 1k-20k sweep). Writes under target/ so a green run leaves the tree clean;
@@ -61,11 +76,11 @@ run cmp target/repro-mu-jobs1.json target/repro-mu-jobs4.json
 run cargo run --release -q --bin repro -- --quick --users 100 \
     --bench target/BENCH_repro.json --scale 1000,2000 all
 
-# bench/v4 sanity: schema, host metadata, per-phase setup breakdown, the
-# raster-election regression bound and the multi-user tree economy (shared
-# cache strictly beating one-tree-per-user at 100+ user fleets), enforced by
-# the script shared with the hosted workflow — on both the fresh run and the
-# committed snapshot.
+# bench/v5 sanity: schema, host metadata, per-phase setup breakdown, the
+# raster-election regression bound, the multi-user tree economy (shared
+# cache strictly beating one-tree-per-user at 100+ user fleets) and the
+# service load section, enforced by the script shared with the hosted
+# workflow — on both the fresh run and the committed snapshot.
 run python3 scripts/check_bench.py target/BENCH_repro.json
 run python3 scripts/check_bench.py BENCH_repro.json
 

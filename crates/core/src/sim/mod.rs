@@ -16,12 +16,14 @@ mod event;
 mod multi;
 mod output;
 mod state;
+mod stepped;
 mod world;
 
 pub use event::SimEvent;
 pub use multi::{MultiSimulation, MultiUserOutput, QuerySet, TreeSharing, UserQuery};
 pub use output::SimulationOutput;
 pub use state::QueryState;
+pub use stepped::SteppedSim;
 pub use world::SimWorld;
 
 use crate::config::{Scenario, Scheme};

@@ -6,14 +6,14 @@
 //! motion profiles and staggered query lifetime, all derived from the
 //! scenario seed through [`wsn_sim::mix_seed`] — over the substrate built by
 //! [`super::deploy::Deployment`], and multiplexes their per-period query
-//! trees through the reference-counted [`TreeCache`].
+//! trees through the reference-counted [`wsn_net::TreeCache`].
 //!
 //! **Sharing is provably result-identical per user.** Both sharing modes
 //! quantise each user's predicted pickup point to a lattice cell of side
 //! `Rq` before building a tree, so a shared tree's construction inputs are
 //! bit-identical to what the naive one-tree-per-user path would use;
 //! [`TreeSharing::Naive`] builds every tree afresh through an independent
-//! [`FloodScratch`] (never touching the cache) and serves as the reference
+//! scratch (never touching the cache) and serves as the reference
 //! implementation, in the style of `elect_backbone_reference`. All random
 //! scoring draws come from per-query streams
 //! `mix_seed(seed, [QUERY_STREAM, user, k])`, and contention depends only on
@@ -21,32 +21,20 @@
 //! produce byte-identical per-user [`QueryLog`]s, which
 //! `tree_cache_equivalence` proptests and the `tree_sharing` bench assert.
 //!
-//! **Temporal sharing across periods works because of event ordering.** All
-//! `PeriodInstall` events are seeded upfront and therefore carry lower
-//! sequence numbers than the `QueryResolve` events scheduled during the run;
-//! at the instant `k·T` the installs for period `k+1` fire before period
-//! `k`'s releases, so a user lingering in one lattice cell hands the cell's
-//! tree from period to period through the cache without it ever being freed
-//! and rebuilt.
+//! Since the service refactor the actual period machinery lives in
+//! [`super::stepped::SteppedSim`]; [`MultiSimulation`] is the batch
+//! run-to-completion façade over it, byte-identical to the retired
+//! event-queue implementation (the golden multiuser JSON pins this).
 
 use crate::config::Scenario;
 use crate::error::ConfigError;
-use crate::sim::deploy::Deployment;
-use std::collections::HashMap;
-use wsn_geom::{Circle, Point, SpatialGrid};
-use wsn_metrics::{summarize_users, QueryLog, QueryRecord, UserSummary};
+use crate::sim::stepped::SteppedSim;
+use wsn_metrics::{QueryLog, UserSummary};
 use wsn_mobility::{generate_fleet, MotionProfile, UserMotion};
-use wsn_net::{
-    Channel, FloodScratch, FloodTree, NeighborTable, NodeId, SleepSchedule, TreeCache, TreeHandle,
-    TreeKey,
-};
-use wsn_power::PowerPlan;
-use wsn_sim::{mix_seed, Engine, EventQueue, SimRng, SimTime, World};
+use wsn_sim::{mix_seed, SimRng};
 
 /// Stream tag for each user's query-lifetime window draw.
 const LIFETIME_STREAM: u64 = 0x11FE_0000_0000_0002;
-/// Stream tag for per-query scoring draws (loss, wake jitter).
-const QUERY_STREAM: u64 = 0x5EED_0000_0000_0003;
 
 /// Whether overlapping query areas share flood trees through the cache or
 /// every query builds its own tree (the reference implementation).
@@ -155,6 +143,44 @@ impl QuerySet {
         QuerySet { users, max_k }
     }
 
+    /// Builds a query set from explicit users — the replay path: a schedule
+    /// recorded by the service's load generator rerun as a batch trial.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when a user's index differs from its
+    /// position (fleet order is identity) or its window falls outside
+    /// `1..=max_k`.
+    pub fn from_users(users: Vec<UserQuery>, max_k: u64) -> Result<Self, ConfigError> {
+        for (index, user) in users.iter().enumerate() {
+            if user.user != index {
+                return Err(ConfigError::new(format!(
+                    "user at position {index} carries fleet index {}",
+                    user.user
+                )));
+            }
+            if user.first_k < 1 || user.first_k > user.last_k || user.last_k > max_k {
+                return Err(ConfigError::new(format!(
+                    "user {index} window [{}, {}] outside 1..={max_k}",
+                    user.first_k, user.last_k
+                )));
+            }
+        }
+        Ok(QuerySet { users, max_k })
+    }
+
+    /// Appends an admitted user. The caller ([`SteppedSim::admit`]) has
+    /// already validated index order and the lifetime window.
+    pub(crate) fn push(&mut self, user: UserQuery) {
+        self.users.push(user);
+    }
+
+    /// Rewrites `user`'s last active period. The caller
+    /// ([`SteppedSim::retire_at`]) has already clamped it into the window.
+    pub(crate) fn set_last_k(&mut self, user: usize, last_k: u64) {
+        self.users[user].last_k = last_k;
+    }
+
     /// The users, in fleet order.
     pub fn users(&self) -> &[UserQuery] {
         &self.users
@@ -188,337 +214,6 @@ impl QuerySet {
     }
 }
 
-/// Events of the multi-user event loop.
-#[derive(Debug, Clone)]
-enum MultiEvent {
-    /// Batched per-period install: one pass over every user active in period
-    /// `k`, fired one period ahead of the deadline.
-    PeriodInstall { k: u64 },
-    /// Query `k` of `user` reaches its deadline and is scored.
-    QueryResolve { user: u32, k: u64 },
-}
-
-/// A query currently standing in the network.
-#[derive(Debug, Clone, Copy)]
-struct ActiveQuery {
-    center: Point,
-    installed_at: SimTime,
-    /// Cache handle in [`TreeSharing::Shared`] mode, `None` in naive mode
-    /// (the tree then lives in `naive_trees`).
-    handle: Option<TreeHandle>,
-}
-
-/// The multi-user protocol world driven by the discrete-event engine.
-#[derive(Debug)]
-struct MultiUserWorld {
-    scenario: Scenario,
-    positions: Vec<Point>,
-    neighbors: NeighborTable,
-    plan: PowerPlan,
-    all_nodes_grid: SpatialGrid,
-    backbone_grid: SpatialGrid,
-    schedule: SleepSchedule,
-    channel: Channel,
-    query_set: QuerySet,
-    sharing: TreeSharing,
-    cache: TreeCache,
-    naive_scratch: FloodScratch,
-    naive_trees: HashMap<(u32, u64), FloodTree>,
-    naive_built: u64,
-    active: HashMap<(u32, u64), ActiveQuery>,
-    /// Wake-up cost of each distinct tree, memoised by construction key so
-    /// both sharing modes charge bit-identical costs.
-    tree_cost: HashMap<TreeKey, f64>,
-    logs: Vec<QueryLog>,
-    installs: u64,
-    /// Sleeping-node wake seconds actually paid under the selected mode.
-    node_wake_seconds: f64,
-    /// Sleeping-node wake seconds the naive one-tree-per-user baseline would
-    /// pay for the same installs (equal to `node_wake_seconds` in naive mode).
-    node_wake_seconds_naive: f64,
-}
-
-impl MultiUserWorld {
-    fn deadline(&self, k: u64) -> SimTime {
-        SimTime::ZERO + self.scenario.query.period * k
-    }
-
-    /// The pickup point for `(user, k)` predicted from the profiles delivered
-    /// by `now`: the qualifying profile with the latest `effective_from` not
-    /// exceeding the deadline, falling back to ground truth when none has
-    /// been delivered yet.
-    fn predicted_pickup(user: &UserQuery, now: SimTime, deadline: SimTime) -> Point {
-        let mut best = None;
-        for profile in &user.profiles {
-            if profile.generated_at <= now && profile.effective_from <= deadline {
-                best = Some(profile);
-            }
-        }
-        match best {
-            Some(profile) => profile.predicted_position(deadline),
-            None => user.motion.position_at(deadline),
-        }
-    }
-
-    /// Snaps a predicted pickup point to the centre of its lattice cell (side
-    /// `Rq`), clamped into the region. Queries in the same cell share a
-    /// collector and a tree; the naive mode uses the same snapped centre, so
-    /// its trees are bit-identical to the shared ones.
-    fn quantized_center(&self, p: Point) -> Point {
-        let cell = self.scenario.query.radius_m;
-        let region = self.scenario.region();
-        let snap = |v: f64, lo: f64, hi: f64| {
-            (((v - lo) / cell).floor() * cell + lo + cell / 2.0).clamp(lo, hi)
-        };
-        Point::new(
-            snap(p.x, region.min_x, region.max_x),
-            snap(p.y, region.min_y, region.max_y),
-        )
-    }
-
-    fn handle_period_install(&mut self, now: SimTime, k: u64, queue: &mut EventQueue<MultiEvent>) {
-        let deadline = self.deadline(k);
-        let relay_radius = self.scenario.query.radius_m + self.scenario.radio.comm_range_m;
-        for index in 0..self.query_set.users().len() {
-            if !self.query_set.users()[index].active_in(k) {
-                continue;
-            }
-            let user = index as u32;
-            // Every issued query gets scored, tree or no tree.
-            queue.schedule_at(deadline, MultiEvent::QueryResolve { user, k });
-
-            let pickup = {
-                let uq = &self.query_set.users()[index];
-                Self::predicted_pickup(uq, now, deadline)
-            };
-            let center = self.quantized_center(pickup);
-            let Some(collector) = self.backbone_grid.nearest(center).map(|(i, _)| NodeId(i)) else {
-                continue; // no backbone at all: the resolve records a miss
-            };
-            let key = TreeKey::new(collector, center, relay_radius);
-            self.installs += 1;
-
-            let handle = match self.sharing {
-                TreeSharing::Shared => {
-                    let positions = &self.positions;
-                    let plan = &self.plan;
-                    let (handle, built) = self.cache.acquire(key, &self.neighbors, |n| {
-                        plan.is_backbone(n)
-                            && positions[n.index()].distance_to(center) <= relay_radius
-                    });
-                    let cost = self.memoized_cost(key, None, Some(handle));
-                    self.node_wake_seconds_naive += cost;
-                    if built {
-                        self.node_wake_seconds += cost;
-                    }
-                    Some(handle)
-                }
-                TreeSharing::Naive => {
-                    let positions = &self.positions;
-                    let plan = &self.plan;
-                    let tree = self.naive_scratch.build(collector, &self.neighbors, |n| {
-                        plan.is_backbone(n)
-                            && positions[n.index()].distance_to(center) <= relay_radius
-                    });
-                    self.naive_built += 1;
-                    let cost = self.memoized_cost(key, Some(&tree), None);
-                    self.node_wake_seconds_naive += cost;
-                    self.node_wake_seconds += cost;
-                    self.naive_trees.insert((user, k), tree);
-                    None
-                }
-            };
-            self.active.insert(
-                (user, k),
-                ActiveQuery {
-                    center,
-                    installed_at: now,
-                    handle,
-                },
-            );
-        }
-    }
-
-    /// Wake-up cost of the tree for `key`, computed once per distinct key and
-    /// then served from the memo (tree content is a pure function of the key,
-    /// so the first computation stands for every later install of the key).
-    fn memoized_cost(
-        &mut self,
-        key: TreeKey,
-        naive_tree: Option<&FloodTree>,
-        handle: Option<TreeHandle>,
-    ) -> f64 {
-        if let Some(&cost) = self.tree_cost.get(&key) {
-            return cost;
-        }
-        let tree = naive_tree.unwrap_or_else(|| self.cache.tree(handle.expect("shared handle")));
-        let setup_airtime = self
-            .channel
-            .tx_duration(self.scenario.messages.setup_bytes)
-            .as_secs_f64();
-        let area = Circle::new(key.center(), self.scenario.query.radius_m);
-        let comm_range = self.scenario.radio.comm_range_m;
-        let mut cost = 0.0;
-        for idx in self.all_nodes_grid.query_circle(area) {
-            let node = NodeId(idx);
-            if self.plan.is_backbone(node) {
-                continue;
-            }
-            let pos = self.positions[idx];
-            let has_parent = self
-                .all_nodes_grid
-                .nearest_filtered(pos, |i| tree.contains(NodeId(i)))
-                .map(|(_, parent_pos)| parent_pos.distance_to(pos) <= comm_range)
-                .unwrap_or(false);
-            if has_parent {
-                // One buffered setup reception plus the nominal wake-up the
-                // node pays to take and forward its reading.
-                cost += setup_airtime + 0.010;
-            }
-        }
-        self.tree_cost.insert(key, cost);
-        cost
-    }
-
-    fn handle_query_resolve(&mut self, now: SimTime, user: u32, k: u64) {
-        let deadline = self.deadline(k);
-        let uq = &self.query_set.users()[user as usize];
-        let actual = uq.motion.position_at(deadline);
-        let area = Circle::new(actual, self.scenario.query.radius_m);
-        let mut nodes_in_area: Vec<NodeId> =
-            self.all_nodes_grid.query_circle(area).map(NodeId).collect();
-        // Sort so every scoring draw below happens in one deterministic order
-        // whatever the grid's internal iteration order.
-        nodes_in_area.sort_unstable();
-
-        let record = match self.active.remove(&(user, k)) {
-            None => QueryRecord::missed(k, deadline, nodes_in_area.len()),
-            Some(aq) => {
-                let mut rng = SimRng::seed_from_u64(mix_seed(
-                    self.scenario.seed,
-                    &[QUERY_STREAM, user as u64, k],
-                ));
-                let concurrency = self.query_set.active_users(k);
-                let loss_p = self
-                    .scenario
-                    .mac
-                    .loss_probability(concurrency.saturating_sub(1));
-                let tree = match aq.handle {
-                    Some(handle) => self.cache.tree(handle),
-                    None => &self.naive_trees[&(user, k)],
-                };
-                let contributing = Self::count_contributing(
-                    tree,
-                    &nodes_in_area,
-                    &aq,
-                    deadline,
-                    loss_p,
-                    &mut rng,
-                    &self.positions,
-                    &self.all_nodes_grid,
-                    &self.plan,
-                    &self.schedule,
-                    &self.channel,
-                    &self.scenario,
-                );
-                // The query retires: drop this install's tree reference.
-                match aq.handle {
-                    Some(handle) => {
-                        self.cache.release(handle);
-                    }
-                    None => {
-                        let tree = self
-                            .naive_trees
-                            .remove(&(user, k))
-                            .expect("naive tree present until resolve");
-                        self.naive_scratch.recycle(tree);
-                    }
-                }
-                QueryRecord {
-                    seq: k,
-                    deadline,
-                    delivered_at: Some(deadline),
-                    contributing_nodes: contributing,
-                    nodes_in_area: nodes_in_area.len(),
-                }
-            }
-        };
-        let _ = now;
-        self.logs[user as usize].push(record);
-    }
-
-    /// Scores one query against its installed tree. Deterministic given the
-    /// tree *content* — both sharing modes build bit-identical trees, iterate
-    /// the same sorted node list and draw from the same per-query stream, so
-    /// they count the same contributors.
-    #[allow(clippy::too_many_arguments)] // split borrows of the world's fields
-    fn count_contributing(
-        tree: &FloodTree,
-        nodes_in_area: &[NodeId],
-        aq: &ActiveQuery,
-        deadline: SimTime,
-        loss_p: f64,
-        rng: &mut SimRng,
-        positions: &[Point],
-        all_nodes_grid: &SpatialGrid,
-        plan: &PowerPlan,
-        schedule: &SleepSchedule,
-        channel: &Channel,
-        scenario: &Scenario,
-    ) -> usize {
-        let period_s = scenario.query.period.as_secs_f64();
-        let hop_s = channel
-            .tx_duration(scenario.messages.setup_bytes)
-            .as_secs_f64()
-            + 0.001;
-        let comm_range = scenario.radio.comm_range_m;
-        let window_s = schedule.active_window().as_secs_f64();
-        let mut contributing = 0;
-        for &node in nodes_in_area {
-            if plan.is_backbone(node) {
-                // Backbone: reached by the setup flood if in the tree and the
-                // flood's per-hop latency fits the one-period install lead.
-                let Some(depth) = tree.depth_of(node) else {
-                    continue;
-                };
-                if depth as f64 * hop_s <= period_s && !rng.gen_bool(loss_p) {
-                    contributing += 1;
-                }
-            } else {
-                // Duty-cycled: needs an in-tree relay in range and an active
-                // window (plus delivery jitter) before the deadline.
-                let pos = positions[node.index()];
-                let parent_in_range = all_nodes_grid
-                    .nearest_filtered(pos, |i| tree.contains(NodeId(i)))
-                    .map(|(_, parent_pos)| parent_pos.distance_to(pos) <= comm_range)
-                    .unwrap_or(false);
-                if !parent_in_range {
-                    continue;
-                }
-                let wake = schedule.next_awake_instant(aq.installed_at);
-                let jitter = rng.gen_range_f64(0.0, window_s * 0.5);
-                let delivered = SimTime::from_secs_f64(wake.as_secs_f64() + jitter);
-                if delivered <= deadline && !rng.gen_bool(loss_p) {
-                    contributing += 1;
-                }
-            }
-        }
-        let _ = aq.center;
-        contributing
-    }
-}
-
-impl World for MultiUserWorld {
-    type Event = MultiEvent;
-
-    fn handle(&mut self, now: SimTime, event: MultiEvent, queue: &mut EventQueue<MultiEvent>) {
-        match event {
-            MultiEvent::PeriodInstall { k } => self.handle_period_install(now, k, queue),
-            MultiEvent::QueryResolve { user, k } => self.handle_query_resolve(now, user, k),
-        }
-    }
-}
-
 /// Aggregated output of one multi-user run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MultiUserOutput {
@@ -545,7 +240,7 @@ pub struct MultiUserOutput {
     /// Sleeping-node wake seconds the naive baseline pays for the same
     /// installs.
     pub node_wake_seconds_naive: f64,
-    /// Events processed by the engine.
+    /// Events processed by the engine (period installs plus query resolves).
     pub events_processed: u64,
     /// Backbone size of the deployment.
     pub backbone_count: usize,
@@ -591,11 +286,13 @@ impl MultiUserOutput {
     }
 }
 
-/// A fully constructed multi-user simulation, ready to run.
+/// A fully constructed multi-user simulation, ready to run to completion.
+///
+/// A thin façade over [`SteppedSim`]: the batch API generates the query set,
+/// walks every period boundary and aggregates the output in one call.
 #[derive(Debug)]
 pub struct MultiSimulation {
-    engine: Engine<MultiUserWorld>,
-    horizon: SimTime,
+    stepped: SteppedSim,
 }
 
 impl MultiSimulation {
@@ -616,112 +313,38 @@ impl MultiSimulation {
         if users == 0 {
             return Err(ConfigError::new("a multi-user run needs at least one user"));
         }
-        let mut rng = SimRng::seed_from_u64(scenario.seed);
-        let deployment = Deployment::build(&scenario, &mut rng)?;
-        let backbone_grid =
-            Deployment::backbone_grid(&deployment.positions, &deployment.plan, &scenario);
         let query_set = QuerySet::generate(&scenario, users);
-        let schedule = scenario.sleep_schedule();
-        let channel = Channel::new(scenario.radio, scenario.mac);
-        let horizon = SimTime::from_secs_f64(scenario.query.lifetime.as_secs_f64() + 1.0);
-        let max_k = query_set.max_k();
-        let period = scenario.query.period;
+        Self::with_query_set(scenario, query_set, sharing)
+    }
 
-        let world = MultiUserWorld {
-            scenario,
-            positions: deployment.positions,
-            neighbors: deployment.neighbors,
-            plan: deployment.plan,
-            all_nodes_grid: deployment.all_nodes_grid,
-            backbone_grid,
-            schedule,
-            channel,
-            logs: vec![QueryLog::new(); query_set.len()],
-            query_set,
-            sharing,
-            cache: TreeCache::new(),
-            naive_scratch: FloodScratch::new(),
-            naive_trees: HashMap::new(),
-            naive_built: 0,
-            active: HashMap::new(),
-            tree_cost: HashMap::new(),
-            installs: 0,
-            node_wake_seconds: 0.0,
-            node_wake_seconds_naive: 0.0,
-        };
-        let mut engine = Engine::new(world);
-        // Install one period ahead of each deadline. Seeding every install
-        // upfront gives them lower sequence numbers than any event scheduled
-        // during the run, which is what orders period-(k+1) installs before
-        // period-k resolves at the shared instant k·T (temporal sharing).
-        for k in 1..=max_k {
-            let deadline = SimTime::ZERO + period * k;
-            engine
-                .queue_mut()
-                .schedule_at(deadline - period, MultiEvent::PeriodInstall { k });
-        }
-        Ok(MultiSimulation { engine, horizon })
+    /// Builds the same substrate around an explicit query set — the replay
+    /// path that pins a recorded service schedule to the batch engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when the scenario fails validation or the
+    /// query set's horizon disagrees with the scenario's period count.
+    pub fn with_query_set(
+        scenario: Scenario,
+        query_set: QuerySet,
+        sharing: TreeSharing,
+    ) -> Result<Self, ConfigError> {
+        Ok(MultiSimulation {
+            stepped: SteppedSim::new(scenario, query_set, sharing)?,
+        })
     }
 
     /// The query set of this run.
     pub fn query_set(&self) -> &QuerySet {
-        &self.engine.world().query_set
+        self.stepped.query_set()
     }
 
     /// Runs to the end of the query lifetime and aggregates the output.
     pub fn run(mut self) -> MultiUserOutput {
-        self.engine.run_until(self.horizon);
-        let events_processed = self.engine.events_processed();
-        let world = self.engine.into_world();
-        // Refcount discipline: every install was released at its resolve.
-        assert_eq!(
-            world.cache.live_trees(),
-            0,
-            "shared trees leaked past the last query"
-        );
-        assert!(
-            world.active.is_empty() && world.naive_trees.is_empty(),
-            "queries left unresolved at the end of the run"
-        );
-        let trees_built = match world.sharing {
-            TreeSharing::Shared => world.cache.trees_built(),
-            TreeSharing::Naive => world.naive_built,
-        };
-        let peak_live_trees = match world.sharing {
-            TreeSharing::Shared => world.cache.peak_live_trees(),
-            // The naive baseline keeps one tree per in-flight install; its
-            // peak equals the largest per-period batch (installs overlap one
-            // period at the k·T handover).
-            TreeSharing::Naive => (1..=world.query_set.max_k())
-                .map(|k| {
-                    world.query_set.active_users(k)
-                        + world
-                            .query_set
-                            .active_users(k + 1)
-                            .min(if k == world.query_set.max_k() {
-                                0
-                            } else {
-                                usize::MAX
-                            })
-                })
-                .max()
-                .unwrap_or(0),
-        };
-        MultiUserOutput {
-            users: world.query_set.len(),
-            sharing: world.sharing,
-            per_user: summarize_users(&world.logs, world.scenario.fidelity_threshold),
-            installs: world.installs,
-            trees_built,
-            shared_hits: world.cache.shared_hits(),
-            peak_live_trees,
-            node_wake_seconds: world.node_wake_seconds,
-            node_wake_seconds_naive: world.node_wake_seconds_naive,
-            events_processed,
-            backbone_count: world.plan.backbone_count(),
-            node_count: world.positions.len(),
-            logs: world.logs,
-        }
+        self.stepped
+            .run_to_end()
+            .expect("a batch walk never admits or retires, so it cannot fail");
+        self.stepped.finish()
     }
 }
 
@@ -765,6 +388,54 @@ mod tests {
         for k in 1..=a.max_k() {
             assert!(a.active_users(k) >= 1, "user 0 spans every period");
         }
+    }
+
+    #[test]
+    fn query_set_generate_survives_tiny_lifetime_windows() {
+        // One- and two-period lifetimes exercise the degenerate window draw
+        // (span = max(max_k / 4, 1)): every window must stay inside
+        // 1..=max_k with first <= last, whatever the stream yields.
+        for periods in [1u64, 2, 3] {
+            let scenario = small_scenario(11).with_duration_secs(2.0 * periods as f64);
+            for seed in 0..20 {
+                let set = QuerySet::generate(&scenario.clone().with_seed(seed), 12);
+                assert_eq!(set.max_k(), periods);
+                for u in set.users() {
+                    assert!(
+                        u.first_k >= 1 && u.first_k <= u.last_k && u.last_k <= periods,
+                        "seed {seed}, {periods} periods: user {} window [{}, {}]",
+                        u.user,
+                        u.first_k,
+                        u.last_k
+                    );
+                }
+                assert_eq!(set.users()[0].first_k, 1);
+                assert_eq!(set.users()[0].last_k, periods);
+            }
+        }
+    }
+
+    #[test]
+    fn from_users_validates_order_and_windows() {
+        let scenario = small_scenario(8);
+        let set = QuerySet::generate(&scenario, 3);
+        let users = set.users().to_vec();
+        let rebuilt = QuerySet::from_users(users.clone(), set.max_k()).unwrap();
+        assert_eq!(rebuilt, set);
+
+        let mut shuffled = users.clone();
+        shuffled.swap(0, 2);
+        assert!(
+            QuerySet::from_users(shuffled, set.max_k()).is_err(),
+            "fleet order must be identity"
+        );
+        let mut bad_window = users;
+        bad_window[1].last_k = set.max_k() + 1;
+        assert!(
+            QuerySet::from_users(bad_window, set.max_k()).is_err(),
+            "window past max_k refused"
+        );
+        assert!(QuerySet::from_users(vec![], 5).unwrap().is_empty());
     }
 
     #[test]

@@ -1,0 +1,824 @@
+//! The stepped multi-user engine: one period boundary at a time.
+//!
+//! [`super::multi::MultiSimulation`] used to drive the multi-user world
+//! through the discrete-event engine in one run-to-completion call, which
+//! made runtime admission impossible: the whole [`QuerySet`] had to exist
+//! before the first event fired. [`SteppedSim`] replaces the event queue with
+//! an explicit walk over period boundaries — boundary `b` performs exactly
+//! what the event engine performed at instant `b·T`, in the same order — so a
+//! long-lived service can [`SteppedSim::admit`] and [`SteppedSim::retire_at`]
+//! users between steps while batch callers just loop to the end.
+//!
+//! **Boundary semantics.** The event engine seeded every `PeriodInstall`
+//! upfront, giving installs lower sequence numbers than any `QueryResolve`
+//! scheduled during the run; at the shared instant `k·T` the installs for
+//! period `k+1` therefore fired before period `k`'s resolves (temporal tree
+//! sharing — a tree handed from period to period is never freed and rebuilt).
+//! [`SteppedSim::step_period`] reproduces that order literally: boundary `b`
+//! first installs period `b+1` (at `now = b·T`, one period ahead of its
+//! deadline), then resolves period `b`. Boundary 0 only installs; the final
+//! boundary `max_k` only resolves. Per-boundary work and all RNG streams are
+//! bit-identical to the retired event loop, which the pinned golden multiuser
+//! JSON asserts.
+
+use crate::config::Scenario;
+use crate::error::ConfigError;
+use crate::sim::deploy::Deployment;
+use crate::sim::multi::{MultiUserOutput, QuerySet, TreeSharing, UserQuery};
+use std::collections::HashMap;
+use wsn_geom::{Circle, Point, SpatialGrid};
+use wsn_metrics::{summarize_users, QueryLog, QueryRecord};
+use wsn_net::{
+    Channel, FloodScratch, FloodTree, NeighborTable, NodeId, SleepSchedule, TreeCache,
+    TreeCacheError, TreeHandle, TreeKey,
+};
+use wsn_power::PowerPlan;
+use wsn_sim::{mix_seed, SimRng, SimTime};
+
+/// Stream tag for per-query scoring draws (loss, wake jitter).
+pub(crate) const QUERY_STREAM: u64 = 0x5EED_0000_0000_0003;
+
+fn cache_error(e: TreeCacheError) -> ConfigError {
+    ConfigError::new(format!("tree cache invariant violated: {e}"))
+}
+
+/// A query currently standing in the network.
+#[derive(Debug, Clone, Copy)]
+struct ActiveQuery {
+    center: Point,
+    installed_at: SimTime,
+    /// Cache handle in [`TreeSharing::Shared`] mode, `None` in naive mode
+    /// (the tree then lives in `naive_trees`).
+    handle: Option<TreeHandle>,
+}
+
+/// The multi-user protocol world, stepped one period boundary at a time.
+#[derive(Debug)]
+struct MultiUserWorld {
+    scenario: Scenario,
+    positions: Vec<Point>,
+    neighbors: NeighborTable,
+    plan: PowerPlan,
+    all_nodes_grid: SpatialGrid,
+    backbone_grid: SpatialGrid,
+    schedule: SleepSchedule,
+    channel: Channel,
+    query_set: QuerySet,
+    sharing: TreeSharing,
+    cache: TreeCache,
+    naive_scratch: FloodScratch,
+    naive_trees: HashMap<(u32, u64), FloodTree>,
+    naive_built: u64,
+    active: HashMap<(u32, u64), ActiveQuery>,
+    /// Wake-up cost of each distinct tree, memoised by construction key so
+    /// both sharing modes charge bit-identical costs.
+    tree_cost: HashMap<TreeKey, f64>,
+    logs: Vec<QueryLog>,
+    installs: u64,
+    /// Sleeping-node wake seconds actually paid under the selected mode.
+    node_wake_seconds: f64,
+    /// Sleeping-node wake seconds the naive one-tree-per-user baseline would
+    /// pay for the same installs (equal to `node_wake_seconds` in naive mode).
+    node_wake_seconds_naive: f64,
+}
+
+impl MultiUserWorld {
+    fn deadline(&self, k: u64) -> SimTime {
+        SimTime::ZERO + self.scenario.query.period * k
+    }
+
+    /// The pickup point for `(user, k)` predicted from the profiles delivered
+    /// by `now`: the qualifying profile with the latest `effective_from` not
+    /// exceeding the deadline, falling back to ground truth when none has
+    /// been delivered yet.
+    fn predicted_pickup(user: &UserQuery, now: SimTime, deadline: SimTime) -> Point {
+        let mut best = None;
+        for profile in &user.profiles {
+            if profile.generated_at <= now && profile.effective_from <= deadline {
+                best = Some(profile);
+            }
+        }
+        match best {
+            Some(profile) => profile.predicted_position(deadline),
+            None => user.motion.position_at(deadline),
+        }
+    }
+
+    /// Snaps a predicted pickup point to the centre of its lattice cell (side
+    /// `Rq`), clamped into the region. Queries in the same cell share a
+    /// collector and a tree; the naive mode uses the same snapped centre, so
+    /// its trees are bit-identical to the shared ones.
+    fn quantized_center(&self, p: Point) -> Point {
+        let cell = self.scenario.query.radius_m;
+        let region = self.scenario.region();
+        let snap = |v: f64, lo: f64, hi: f64| {
+            (((v - lo) / cell).floor() * cell + lo + cell / 2.0).clamp(lo, hi)
+        };
+        Point::new(
+            snap(p.x, region.min_x, region.max_x),
+            snap(p.y, region.min_y, region.max_y),
+        )
+    }
+
+    /// Installs period `k`'s queries for every user active in `k`, one period
+    /// ahead of the deadline (`now = (k-1)·T`).
+    fn handle_period_install(&mut self, now: SimTime, k: u64) -> Result<(), ConfigError> {
+        let deadline = self.deadline(k);
+        let relay_radius = self.scenario.query.radius_m + self.scenario.radio.comm_range_m;
+        for index in 0..self.query_set.users().len() {
+            if !self.query_set.users()[index].active_in(k) {
+                continue;
+            }
+            let user = index as u32;
+            let pickup = {
+                let uq = &self.query_set.users()[index];
+                Self::predicted_pickup(uq, now, deadline)
+            };
+            let center = self.quantized_center(pickup);
+            let Some(collector) = self.backbone_grid.nearest(center).map(|(i, _)| NodeId(i)) else {
+                continue; // no backbone at all: the resolve records a miss
+            };
+            let key = TreeKey::new(collector, center, relay_radius);
+            self.installs += 1;
+
+            let handle = match self.sharing {
+                TreeSharing::Shared => {
+                    let (handle, built) = {
+                        let positions = &self.positions;
+                        let plan = &self.plan;
+                        self.cache.acquire(key, &self.neighbors, |n| {
+                            plan.is_backbone(n)
+                                && positions[n.index()].distance_to(center) <= relay_radius
+                        })
+                    };
+                    let cost = {
+                        let tree = self.cache.tree(handle).map_err(cache_error)?;
+                        Self::memoized_cost(
+                            &mut self.tree_cost,
+                            key,
+                            tree,
+                            &self.channel,
+                            &self.scenario,
+                            &self.all_nodes_grid,
+                            &self.positions,
+                            &self.plan,
+                        )
+                    };
+                    self.node_wake_seconds_naive += cost;
+                    if built {
+                        self.node_wake_seconds += cost;
+                    }
+                    Some(handle)
+                }
+                TreeSharing::Naive => {
+                    let tree = {
+                        let positions = &self.positions;
+                        let plan = &self.plan;
+                        self.naive_scratch.build(collector, &self.neighbors, |n| {
+                            plan.is_backbone(n)
+                                && positions[n.index()].distance_to(center) <= relay_radius
+                        })
+                    };
+                    self.naive_built += 1;
+                    let cost = Self::memoized_cost(
+                        &mut self.tree_cost,
+                        key,
+                        &tree,
+                        &self.channel,
+                        &self.scenario,
+                        &self.all_nodes_grid,
+                        &self.positions,
+                        &self.plan,
+                    );
+                    self.node_wake_seconds_naive += cost;
+                    self.node_wake_seconds += cost;
+                    self.naive_trees.insert((user, k), tree);
+                    None
+                }
+            };
+            self.active.insert(
+                (user, k),
+                ActiveQuery {
+                    center,
+                    installed_at: now,
+                    handle,
+                },
+            );
+        }
+        Ok(())
+    }
+
+    /// Wake-up cost of the tree for `key`, computed once per distinct key and
+    /// then served from the memo (tree content is a pure function of the key,
+    /// so the first computation stands for every later install of the key).
+    ///
+    /// Takes the tree by reference — the caller resolves its handle first —
+    /// so no `Option<TreeHandle>` juggling (and no dead-handle `expect`)
+    /// happens inside the memo.
+    #[allow(clippy::too_many_arguments)] // split borrows of the world's fields
+    fn memoized_cost(
+        tree_cost: &mut HashMap<TreeKey, f64>,
+        key: TreeKey,
+        tree: &FloodTree,
+        channel: &Channel,
+        scenario: &Scenario,
+        all_nodes_grid: &SpatialGrid,
+        positions: &[Point],
+        plan: &PowerPlan,
+    ) -> f64 {
+        if let Some(&cost) = tree_cost.get(&key) {
+            return cost;
+        }
+        let setup_airtime = channel
+            .tx_duration(scenario.messages.setup_bytes)
+            .as_secs_f64();
+        let area = Circle::new(key.center(), scenario.query.radius_m);
+        let comm_range = scenario.radio.comm_range_m;
+        let mut cost = 0.0;
+        for idx in all_nodes_grid.query_circle(area) {
+            let node = NodeId(idx);
+            if plan.is_backbone(node) {
+                continue;
+            }
+            let pos = positions[idx];
+            let has_parent = all_nodes_grid
+                .nearest_filtered(pos, |i| tree.contains(NodeId(i)))
+                .map(|(_, parent_pos)| parent_pos.distance_to(pos) <= comm_range)
+                .unwrap_or(false);
+            if has_parent {
+                // One buffered setup reception plus the nominal wake-up the
+                // node pays to take and forward its reading.
+                cost += setup_airtime + 0.010;
+            }
+        }
+        tree_cost.insert(key, cost);
+        cost
+    }
+
+    /// Scores query `(user, k)` at its deadline and retires its tree
+    /// reference.
+    fn handle_query_resolve(&mut self, user: u32, k: u64) -> Result<(), ConfigError> {
+        let deadline = self.deadline(k);
+        let uq = &self.query_set.users()[user as usize];
+        let actual = uq.motion.position_at(deadline);
+        let area = Circle::new(actual, self.scenario.query.radius_m);
+        let mut nodes_in_area: Vec<NodeId> =
+            self.all_nodes_grid.query_circle(area).map(NodeId).collect();
+        // Sort so every scoring draw below happens in one deterministic order
+        // whatever the grid's internal iteration order.
+        nodes_in_area.sort_unstable();
+
+        let record = match self.active.remove(&(user, k)) {
+            None => QueryRecord::missed(k, deadline, nodes_in_area.len()),
+            Some(aq) => {
+                let mut rng = SimRng::seed_from_u64(mix_seed(
+                    self.scenario.seed,
+                    &[QUERY_STREAM, user as u64, k],
+                ));
+                let concurrency = self.query_set.active_users(k);
+                let loss_p = self
+                    .scenario
+                    .mac
+                    .loss_probability(concurrency.saturating_sub(1));
+                let tree = match aq.handle {
+                    Some(handle) => self.cache.tree(handle).map_err(cache_error)?,
+                    None => &self.naive_trees[&(user, k)],
+                };
+                let contributing = Self::count_contributing(
+                    tree,
+                    &nodes_in_area,
+                    &aq,
+                    deadline,
+                    loss_p,
+                    &mut rng,
+                    &self.positions,
+                    &self.all_nodes_grid,
+                    &self.plan,
+                    &self.schedule,
+                    &self.channel,
+                    &self.scenario,
+                );
+                // The query retires: drop this install's tree reference.
+                match aq.handle {
+                    Some(handle) => {
+                        self.cache.release(handle).map_err(cache_error)?;
+                    }
+                    None => {
+                        let tree = self
+                            .naive_trees
+                            .remove(&(user, k))
+                            .expect("naive tree present until resolve");
+                        self.naive_scratch.recycle(tree);
+                    }
+                }
+                QueryRecord {
+                    seq: k,
+                    deadline,
+                    delivered_at: Some(deadline),
+                    contributing_nodes: contributing,
+                    nodes_in_area: nodes_in_area.len(),
+                }
+            }
+        };
+        self.logs[user as usize].push(record);
+        Ok(())
+    }
+
+    /// Scores one query against its installed tree. Deterministic given the
+    /// tree *content* — both sharing modes build bit-identical trees, iterate
+    /// the same sorted node list and draw from the same per-query stream, so
+    /// they count the same contributors.
+    #[allow(clippy::too_many_arguments)] // split borrows of the world's fields
+    fn count_contributing(
+        tree: &FloodTree,
+        nodes_in_area: &[NodeId],
+        aq: &ActiveQuery,
+        deadline: SimTime,
+        loss_p: f64,
+        rng: &mut SimRng,
+        positions: &[Point],
+        all_nodes_grid: &SpatialGrid,
+        plan: &PowerPlan,
+        schedule: &SleepSchedule,
+        channel: &Channel,
+        scenario: &Scenario,
+    ) -> usize {
+        let period_s = scenario.query.period.as_secs_f64();
+        let hop_s = channel
+            .tx_duration(scenario.messages.setup_bytes)
+            .as_secs_f64()
+            + 0.001;
+        let comm_range = scenario.radio.comm_range_m;
+        let window_s = schedule.active_window().as_secs_f64();
+        let mut contributing = 0;
+        for &node in nodes_in_area {
+            if plan.is_backbone(node) {
+                // Backbone: reached by the setup flood if in the tree and the
+                // flood's per-hop latency fits the one-period install lead.
+                let Some(depth) = tree.depth_of(node) else {
+                    continue;
+                };
+                if depth as f64 * hop_s <= period_s && !rng.gen_bool(loss_p) {
+                    contributing += 1;
+                }
+            } else {
+                // Duty-cycled: needs an in-tree relay in range and an active
+                // window (plus delivery jitter) before the deadline.
+                let pos = positions[node.index()];
+                let parent_in_range = all_nodes_grid
+                    .nearest_filtered(pos, |i| tree.contains(NodeId(i)))
+                    .map(|(_, parent_pos)| parent_pos.distance_to(pos) <= comm_range)
+                    .unwrap_or(false);
+                if !parent_in_range {
+                    continue;
+                }
+                let wake = schedule.next_awake_instant(aq.installed_at);
+                let jitter = rng.gen_range_f64(0.0, window_s * 0.5);
+                let delivered = SimTime::from_secs_f64(wake.as_secs_f64() + jitter);
+                if delivered <= deadline && !rng.gen_bool(loss_p) {
+                    contributing += 1;
+                }
+            }
+        }
+        let _ = aq.center;
+        contributing
+    }
+}
+
+/// The stepped multi-user simulation: owns one deployment and walks period
+/// boundaries under caller control, admitting and retiring users between
+/// steps.
+///
+/// Boundaries run `0..=max_k`. Boundary `b` (time `b·T`) installs period
+/// `b+1` (when `b < max_k`) and then resolves period `b` (when `b ≥ 1`) —
+/// exactly the order the retired event loop processed the instant `b·T` in,
+/// so a full walk is bit-identical to the old run-to-completion engine.
+#[derive(Debug)]
+pub struct SteppedSim {
+    world: MultiUserWorld,
+    next_boundary: u64,
+    events_processed: u64,
+}
+
+impl SteppedSim {
+    /// Builds the deployment substrate (identical to the single-user
+    /// [`crate::sim::Simulation`], same RNG forks) and takes ownership of
+    /// `query_set` — which may be empty: a service starts idle and
+    /// [`SteppedSim::admit`]s users at runtime.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when the scenario fails validation or the
+    /// query set's period horizon disagrees with the scenario's.
+    pub fn new(
+        scenario: Scenario,
+        query_set: QuerySet,
+        sharing: TreeSharing,
+    ) -> Result<Self, ConfigError> {
+        scenario.validate()?;
+        if query_set.max_k() != scenario.query.result_count() {
+            return Err(ConfigError::new(format!(
+                "query set spans {} periods but the scenario serves {}",
+                query_set.max_k(),
+                scenario.query.result_count()
+            )));
+        }
+        let mut rng = SimRng::seed_from_u64(scenario.seed);
+        let deployment = Deployment::build(&scenario, &mut rng)?;
+        let backbone_grid =
+            Deployment::backbone_grid(&deployment.positions, &deployment.plan, &scenario);
+        let schedule = scenario.sleep_schedule();
+        let channel = Channel::new(scenario.radio, scenario.mac);
+
+        let world = MultiUserWorld {
+            scenario,
+            positions: deployment.positions,
+            neighbors: deployment.neighbors,
+            plan: deployment.plan,
+            all_nodes_grid: deployment.all_nodes_grid,
+            backbone_grid,
+            schedule,
+            channel,
+            logs: vec![QueryLog::new(); query_set.len()],
+            query_set,
+            sharing,
+            cache: TreeCache::new(),
+            naive_scratch: FloodScratch::new(),
+            naive_trees: HashMap::new(),
+            naive_built: 0,
+            active: HashMap::new(),
+            tree_cost: HashMap::new(),
+            installs: 0,
+            node_wake_seconds: 0.0,
+            node_wake_seconds_naive: 0.0,
+        };
+        Ok(SteppedSim {
+            world,
+            next_boundary: 0,
+            events_processed: 0,
+        })
+    }
+
+    /// The query set as it currently stands (admissions included).
+    pub fn query_set(&self) -> &QuerySet {
+        &self.world.query_set
+    }
+
+    /// The scenario the deployment was built from.
+    pub fn scenario(&self) -> &Scenario {
+        &self.world.scenario
+    }
+
+    /// Per-user query logs, index = fleet index. Grows as boundaries resolve.
+    pub fn logs(&self) -> &[QueryLog] {
+        &self.world.logs
+    }
+
+    /// The next boundary [`SteppedSim::step_period`] will process
+    /// (`0..=max_k`); the earliest period a new admission can first be active
+    /// in is `next_boundary() + 1`.
+    pub fn next_boundary(&self) -> u64 {
+        self.next_boundary
+    }
+
+    /// The last boundary of the run (= the scenario's period count).
+    pub fn max_k(&self) -> u64 {
+        self.world.query_set.max_k()
+    }
+
+    /// `true` once every boundary has been stepped.
+    pub fn is_finished(&self) -> bool {
+        self.next_boundary > self.max_k()
+    }
+
+    /// Admits a user at runtime. The user's fleet index must equal the
+    /// current fleet size (admission order is identity, as in a static
+    /// [`QuerySet`]), and its window must start after every period already
+    /// installed — `first_k > next_boundary()` — so the admission behaves
+    /// exactly like a user that had been in the set from the start.
+    ///
+    /// Returns the admitted fleet index.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for an out-of-order fleet index, a window
+    /// outside `1..=max_k`, or a `first_k` that is already installed.
+    pub fn admit(&mut self, user: UserQuery) -> Result<usize, ConfigError> {
+        let index = self.world.query_set.len();
+        if user.user != index {
+            return Err(ConfigError::new(format!(
+                "admission out of order: user index {} but fleet size {}",
+                user.user, index
+            )));
+        }
+        if user.first_k < 1 || user.first_k > user.last_k || user.last_k > self.max_k() {
+            return Err(ConfigError::new(format!(
+                "user {} window [{}, {}] outside 1..={}",
+                user.user,
+                user.first_k,
+                user.last_k,
+                self.max_k()
+            )));
+        }
+        if user.first_k <= self.next_boundary {
+            return Err(ConfigError::new(format!(
+                "user {} first period {} is already installed (next boundary {})",
+                user.user, user.first_k, self.next_boundary
+            )));
+        }
+        self.world.query_set.push(user);
+        self.world.logs.push(QueryLog::new());
+        Ok(index)
+    }
+
+    /// Shrinks `user`'s lifetime window to end at `last_k`, clamped so that
+    /// periods already installed (and the window's first period) still
+    /// resolve — an install standing in the network cannot be recalled, only
+    /// left to retire at its deadline.
+    ///
+    /// Returns the effective last period after clamping.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for an unknown fleet index.
+    pub fn retire_at(&mut self, user: usize, last_k: u64) -> Result<u64, ConfigError> {
+        let Some(uq) = self.world.query_set.users().get(user) else {
+            return Err(ConfigError::new(format!(
+                "unknown fleet index {user} (fleet size {})",
+                self.world.query_set.len()
+            )));
+        };
+        let installed_up_to = self.next_boundary.min(uq.last_k);
+        let effective = last_k.max(uq.first_k).max(installed_up_to).min(uq.last_k);
+        self.world.query_set.set_last_k(user, effective);
+        Ok(effective)
+    }
+
+    /// Processes the next period boundary: installs period `b+1` (except at
+    /// the final boundary) then resolves period `b` (except at boundary 0).
+    /// Returns the boundary processed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when the run is already finished or a tree
+    /// cache invariant is violated (a poisoned world — do not step further).
+    pub fn step_period(&mut self) -> Result<u64, ConfigError> {
+        let b = self.next_boundary;
+        let max_k = self.max_k();
+        if b > max_k {
+            return Err(ConfigError::new(format!(
+                "stepped past the final boundary {max_k}"
+            )));
+        }
+        let now = SimTime::ZERO + self.world.scenario.query.period * b;
+        if b < max_k {
+            self.world.handle_period_install(now, b + 1)?;
+            self.events_processed += 1;
+        }
+        if b >= 1 {
+            for index in 0..self.world.query_set.users().len() {
+                if !self.world.query_set.users()[index].active_in(b) {
+                    continue;
+                }
+                self.world.handle_query_resolve(index as u32, b)?;
+                self.events_processed += 1;
+            }
+        }
+        self.next_boundary = b + 1;
+        Ok(b)
+    }
+
+    /// Runs every remaining boundary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SteppedSim::step_period`] error.
+    pub fn run_to_end(&mut self) -> Result<(), ConfigError> {
+        while !self.is_finished() {
+            self.step_period()?;
+        }
+        Ok(())
+    }
+
+    /// Consumes the finished run and aggregates the output the batch
+    /// [`crate::sim::MultiSimulation`] API reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called before the final boundary was stepped, or when a
+    /// query install leaked past the last resolve (refcount discipline).
+    pub fn finish(self) -> MultiUserOutput {
+        assert!(
+            self.is_finished(),
+            "finish() before the final boundary was stepped"
+        );
+        let events_processed = self.events_processed;
+        let world = self.world;
+        // Refcount discipline: every install was released at its resolve.
+        assert_eq!(
+            world.cache.live_trees(),
+            0,
+            "shared trees leaked past the last query"
+        );
+        assert!(
+            world.active.is_empty() && world.naive_trees.is_empty(),
+            "queries left unresolved at the end of the run"
+        );
+        let trees_built = match world.sharing {
+            TreeSharing::Shared => world.cache.trees_built(),
+            TreeSharing::Naive => world.naive_built,
+        };
+        let peak_live_trees = match world.sharing {
+            TreeSharing::Shared => world.cache.peak_live_trees(),
+            // The naive baseline keeps one tree per in-flight install; its
+            // peak equals the largest per-period batch (installs overlap one
+            // period at the k·T handover).
+            TreeSharing::Naive => (1..=world.query_set.max_k())
+                .map(|k| {
+                    world.query_set.active_users(k)
+                        + world
+                            .query_set
+                            .active_users(k + 1)
+                            .min(if k == world.query_set.max_k() {
+                                0
+                            } else {
+                                usize::MAX
+                            })
+                })
+                .max()
+                .unwrap_or(0),
+        };
+        MultiUserOutput {
+            users: world.query_set.len(),
+            sharing: world.sharing,
+            per_user: summarize_users(&world.logs, world.scenario.fidelity_threshold),
+            installs: world.installs,
+            trees_built,
+            shared_hits: world.cache.shared_hits(),
+            peak_live_trees,
+            node_wake_seconds: world.node_wake_seconds,
+            node_wake_seconds_naive: world.node_wake_seconds_naive,
+            events_processed,
+            backbone_count: world.plan.backbone_count(),
+            node_count: world.positions.len(),
+            logs: world.logs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Scheme;
+    use crate::sim::MultiSimulation;
+    use wsn_mobility::{fleet_member, ProfileSource};
+
+    fn small_scenario(seed: u64) -> Scenario {
+        Scenario::paper_default()
+            .with_node_count(80)
+            .with_region_side(300.0)
+            .with_duration_secs(40.0)
+            .with_scheme(Scheme::JustInTime)
+            .with_seed(seed)
+    }
+
+    fn stepped(seed: u64, users: usize, sharing: TreeSharing) -> SteppedSim {
+        let scenario = small_scenario(seed);
+        let set = QuerySet::generate(&scenario, users);
+        SteppedSim::new(scenario, set, sharing).unwrap()
+    }
+
+    #[test]
+    fn full_walk_matches_the_batch_engine() {
+        for sharing in [TreeSharing::Shared, TreeSharing::Naive] {
+            let batch = MultiSimulation::new(small_scenario(7), 5, sharing)
+                .unwrap()
+                .run();
+            let mut sim = stepped(7, 5, sharing);
+            sim.run_to_end().unwrap();
+            assert_eq!(sim.finish(), batch, "{sharing:?} walk diverged");
+        }
+    }
+
+    #[test]
+    fn boundary_count_and_event_accounting() {
+        let mut sim = stepped(3, 4, TreeSharing::Shared);
+        let max_k = sim.max_k();
+        let total_queries = sim.query_set().total_queries();
+        let mut boundaries = 0u64;
+        while !sim.is_finished() {
+            assert_eq!(sim.step_period().unwrap(), boundaries);
+            boundaries += 1;
+        }
+        assert_eq!(boundaries, max_k + 1, "boundaries 0..=max_k");
+        assert!(sim.step_period().is_err(), "stepping past the end errors");
+        let out = sim.finish();
+        assert_eq!(out.events_processed, max_k + total_queries);
+    }
+
+    #[test]
+    fn logs_grow_as_boundaries_resolve() {
+        let mut sim = stepped(5, 1, TreeSharing::Shared);
+        sim.step_period().unwrap(); // boundary 0: install only
+        assert_eq!(sim.logs()[0].len(), 0);
+        sim.step_period().unwrap(); // boundary 1: resolves period 1
+        assert_eq!(sim.logs()[0].len(), 1);
+        assert_eq!(sim.logs()[0].records()[0].seq, 1);
+    }
+
+    #[test]
+    fn runtime_admission_equals_static_membership() {
+        // A fleet whose windows open in fleet order, so each user can be
+        // admitted at the latest legal boundary (`first_k - 1`) while keeping
+        // admission order = fleet order (the per-query RNG streams are keyed
+        // by fleet index, so indices must match the static run).
+        let scenario = small_scenario(9);
+        let max_k = scenario.query.result_count();
+        let windows = [(1, max_k), (1, 6), (3, 9), (4, max_k), (7, 12)];
+        let users: Vec<UserQuery> = windows
+            .iter()
+            .enumerate()
+            .map(|(index, &(first_k, last_k))| {
+                let m = fleet_member(
+                    &scenario.motion,
+                    scenario.profile_source,
+                    index,
+                    scenario.seed,
+                );
+                UserQuery {
+                    user: index,
+                    seed: m.seed,
+                    motion: m.motion,
+                    profiles: m.profiles,
+                    first_k,
+                    last_k,
+                }
+            })
+            .collect();
+        let set = QuerySet::from_users(users.clone(), max_k).unwrap();
+        let static_out =
+            MultiSimulation::with_query_set(scenario.clone(), set, TreeSharing::Shared)
+                .unwrap()
+                .run();
+
+        let empty = QuerySet::from_users(vec![], max_k).unwrap();
+        let mut sim = SteppedSim::new(scenario, empty, TreeSharing::Shared).unwrap();
+        let mut pending = users.into_iter().peekable();
+        while !sim.is_finished() {
+            let b = sim.next_boundary();
+            while pending.peek().is_some_and(|u| u.first_k == b + 1) {
+                sim.admit(pending.next().unwrap()).unwrap();
+            }
+            sim.step_period().unwrap();
+        }
+        assert!(pending.next().is_none(), "every user was admitted");
+        let dynamic_out = sim.finish();
+        assert_eq!(
+            dynamic_out, static_out,
+            "runtime admissions diverged from static membership"
+        );
+    }
+
+    #[test]
+    fn admission_rejects_out_of_order_and_installed_windows() {
+        let mut sim = stepped(2, 2, TreeSharing::Shared);
+        let scenario = small_scenario(2);
+        let member = fleet_member(&scenario.motion, ProfileSource::Oracle, 9, scenario.seed);
+        let make = |user, first_k, last_k| UserQuery {
+            user,
+            seed: member.seed,
+            motion: member.motion.clone(),
+            profiles: member.profiles.clone(),
+            first_k,
+            last_k,
+        };
+        assert!(sim.admit(make(5, 2, 3)).is_err(), "index gap rejected");
+        assert!(sim.admit(make(2, 0, 3)).is_err(), "zero first_k rejected");
+        assert!(
+            sim.admit(make(2, 3, sim.max_k() + 1)).is_err(),
+            "window past max_k rejected"
+        );
+        sim.step_period().unwrap(); // installs period 1
+        assert!(
+            sim.admit(make(2, 1, 3)).is_err(),
+            "first period already installed"
+        );
+        assert!(sim.admit(make(2, 2, 3)).is_ok(), "future window admitted");
+    }
+
+    #[test]
+    fn retire_clamps_to_installed_periods() {
+        let mut sim = stepped(4, 1, TreeSharing::Shared);
+        assert!(sim.retire_at(3, 5).is_err(), "unknown user");
+        sim.step_period().unwrap(); // boundary 0: period 1 installed
+        sim.step_period().unwrap(); // boundary 1: period 2 installed
+                                    // Periods 1..=2 are standing; retiring "now" keeps them resolvable.
+        assert_eq!(sim.retire_at(0, 0).unwrap(), 2);
+        assert_eq!(sim.query_set().users()[0].last_k, 2);
+        // Retiring later than the current window is a no-op shrink.
+        assert_eq!(sim.retire_at(0, 99).unwrap(), 2);
+        sim.run_to_end().unwrap();
+        let out = sim.finish();
+        assert_eq!(out.logs[0].len(), 2, "exactly the installed periods score");
+    }
+}

@@ -22,12 +22,14 @@
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod latency;
 pub mod multiuser;
 pub mod query;
 pub mod series;
 pub mod table;
 
 pub use json::JsonValue;
+pub use latency::{percentile_sorted, LatencyStats};
 pub use multiuser::{summarize_users, UserSummary};
 pub use query::{QueryLog, QueryRecord};
 pub use series::Series;

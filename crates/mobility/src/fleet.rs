@@ -58,29 +58,43 @@ pub fn generate_fleet(
     base_seed: u64,
 ) -> Vec<FleetMember> {
     (0..users)
-        .map(|index| {
-            let seed = mix_seed(base_seed, &[FLEET_STREAM, index as u64]);
-            let mut rng = SimRng::seed_from_u64(seed);
-            let mut member_config = *config;
-            if index > 0 {
-                let r = config.region;
-                let margin_x = 0.05 * (r.max_x - r.min_x);
-                let margin_y = 0.05 * (r.max_y - r.min_y);
-                member_config.start = Point::new(
-                    rng.gen_range_f64(r.min_x + margin_x, r.max_x - margin_x),
-                    rng.gen_range_f64(r.min_y + margin_y, r.max_y - margin_y),
-                );
-            }
-            let motion = UserMotion::generate(&member_config, &mut rng);
-            let profiles = source.profiles(&motion, &mut rng);
-            FleetMember {
-                index,
-                seed,
-                motion,
-                profiles,
-            }
-        })
+        .map(|index| fleet_member(config, source, index, base_seed))
         .collect()
+}
+
+/// Generates the single fleet member `index` of the fleet
+/// `(config, source, base_seed)`.
+///
+/// Bit-identical to `generate_fleet(config, source, n, base_seed)[index]` for
+/// any `n > index` — which is what lets a long-lived query service admit
+/// users one at a time, in arrival order, and still replay the exact same
+/// fleet as a batch multi-user trial.
+pub fn fleet_member(
+    config: &MotionConfig,
+    source: ProfileSource,
+    index: usize,
+    base_seed: u64,
+) -> FleetMember {
+    let seed = mix_seed(base_seed, &[FLEET_STREAM, index as u64]);
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut member_config = *config;
+    if index > 0 {
+        let r = config.region;
+        let margin_x = 0.05 * (r.max_x - r.min_x);
+        let margin_y = 0.05 * (r.max_y - r.min_y);
+        member_config.start = Point::new(
+            rng.gen_range_f64(r.min_x + margin_x, r.max_x - margin_x),
+            rng.gen_range_f64(r.min_y + margin_y, r.max_y - margin_y),
+        );
+    }
+    let motion = UserMotion::generate(&member_config, &mut rng);
+    let profiles = source.profiles(&motion, &mut rng);
+    FleetMember {
+        index,
+        seed,
+        motion,
+        profiles,
+    }
 }
 
 #[cfg(test)]

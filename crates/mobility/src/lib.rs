@@ -34,7 +34,7 @@ pub mod profile;
 pub mod source;
 pub mod user;
 
-pub use fleet::{generate_fleet, FleetMember, FLEET_STREAM};
+pub use fleet::{fleet_member, generate_fleet, FleetMember, FLEET_STREAM};
 pub use gps::GpsModel;
 pub use path::{MotionLeg, MotionPath};
 pub use profile::MotionProfile;

@@ -44,4 +44,4 @@ pub use node::{NodeId, NodeRole};
 pub use psm::SleepSchedule;
 pub use radio::{RadioConfig, RadioPowerProfile, RadioState};
 pub use routing::{greedy_next_hop, route_greedy, RouteError, RoutePath};
-pub use tree_cache::{TreeCache, TreeHandle, TreeKey};
+pub use tree_cache::{TreeCache, TreeCacheError, TreeHandle, TreeKey};

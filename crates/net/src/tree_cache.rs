@@ -22,7 +22,45 @@ use crate::flood::{FloodScratch, FloodTree};
 use crate::neighbors::NeighborTable;
 use crate::node::NodeId;
 use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
 use wsn_geom::Point;
+
+/// A [`TreeCache`] access through a handle whose tree is no longer alive.
+///
+/// Every fallible cache operation reports this instead of panicking, so a
+/// long-lived service that is handed a stale or double-released handle by a
+/// client can turn the bug into an error response instead of aborting the
+/// whole daemon. The refcount discipline is still load-bearing — internal
+/// simulation code treats this error as a programming bug (and the
+/// equivalence suites assert it never happens there).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeCacheError {
+    slot: u32,
+}
+
+impl TreeCacheError {
+    fn dead(handle: TreeHandle) -> Self {
+        TreeCacheError { slot: handle.0 }
+    }
+
+    /// The slot index of the offending handle.
+    pub fn slot(&self) -> u32 {
+        self.slot
+    }
+}
+
+impl fmt::Display for TreeCacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tree handle {} is not alive (already fully released)",
+            self.slot
+        )
+    }
+}
+
+impl Error for TreeCacheError {}
 
 /// The complete set of inputs a cached flood tree was built from.
 ///
@@ -105,9 +143,10 @@ struct CacheEntry {
 /// assert_eq!(a, b);
 /// assert_eq!(cache.refs(a), 2);
 ///
-/// cache.release(a);
-/// assert!(cache.release(b), "the last release frees the tree");
+/// assert_eq!(cache.release(a), Ok(false));
+/// assert_eq!(cache.release(b), Ok(true), "the last release frees the tree");
 /// assert_eq!(cache.live_trees(), 0);
+/// assert!(cache.release(b).is_err(), "a dead handle is an error, not a panic");
 /// ```
 #[derive(Debug, Default)]
 pub struct TreeCache {
@@ -169,58 +208,69 @@ impl TreeCache {
 
     /// The tree behind `handle`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when the handle has already been fully released.
-    pub fn tree(&self, handle: TreeHandle) -> &FloodTree {
-        self.slots[handle.0 as usize]
-            .as_ref()
+    /// Returns a [`TreeCacheError`] when the handle has already been fully
+    /// released (or never came from this cache).
+    pub fn tree(&self, handle: TreeHandle) -> Result<&FloodTree, TreeCacheError> {
+        self.slots
+            .get(handle.0 as usize)
+            .and_then(|slot| slot.as_ref())
             .map(|e| &e.tree)
-            .expect("live handle")
+            .ok_or(TreeCacheError::dead(handle))
     }
 
     /// The key the tree behind `handle` was built from.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when the handle has already been fully released.
-    pub fn key(&self, handle: TreeHandle) -> TreeKey {
-        self.slots[handle.0 as usize]
-            .as_ref()
+    /// Returns a [`TreeCacheError`] when the handle has already been fully
+    /// released (or never came from this cache).
+    pub fn key(&self, handle: TreeHandle) -> Result<TreeKey, TreeCacheError> {
+        self.slots
+            .get(handle.0 as usize)
+            .and_then(|slot| slot.as_ref())
             .map(|e| e.key)
-            .expect("live handle")
+            .ok_or(TreeCacheError::dead(handle))
     }
 
     /// Current reference count of the tree behind `handle` (0 for a slot
     /// that has been freed).
     pub fn refs(&self, handle: TreeHandle) -> u32 {
-        self.slots[handle.0 as usize]
-            .as_ref()
+        self.slots
+            .get(handle.0 as usize)
+            .and_then(|slot| slot.as_ref())
             .map(|e| e.refs)
             .unwrap_or(0)
     }
 
-    /// Drops one reference to the tree behind `handle`. Returns `true` when
-    /// this was the last reference: the tree is unmapped and its buffers are
-    /// recycled for the next build.
+    /// Drops one reference to the tree behind `handle`. Returns `Ok(true)`
+    /// when this was the last reference: the tree is unmapped and its buffers
+    /// are recycled for the next build.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when the handle has already been fully released (a double
-    /// release — the refcount discipline is load-bearing for the sharing
-    /// metrics, so it fails loudly instead of corrupting a live tree).
-    pub fn release(&mut self, handle: TreeHandle) -> bool {
+    /// Returns a [`TreeCacheError`] on a release through a dead handle (a
+    /// double release). The refcount discipline is load-bearing for the
+    /// sharing metrics, so a live tree is never corrupted: the offending
+    /// release is simply refused, which lets a long-lived service answer a
+    /// client's double-retire with an error instead of dying.
+    pub fn release(&mut self, handle: TreeHandle) -> Result<bool, TreeCacheError> {
         let slot = handle.0 as usize;
-        let entry = self.slots[slot].as_mut().expect("release of a live handle");
+        let entry = self
+            .slots
+            .get_mut(slot)
+            .and_then(|s| s.as_mut())
+            .ok_or(TreeCacheError::dead(handle))?;
         entry.refs -= 1;
         if entry.refs > 0 {
-            return false;
+            return Ok(false);
         }
         let entry = self.slots[slot].take().expect("checked occupied above");
         self.index.remove(&entry.key);
         self.scratch.recycle(entry.tree);
         self.free.push(handle.0);
-        true
+        Ok(true)
     }
 
     /// Number of distinct trees currently alive (reference count > 0).
@@ -286,7 +336,7 @@ mod tests {
         assert_ne!(a, b);
         assert_eq!(cache.live_trees(), 2);
         assert_eq!(cache.peak_live_trees(), 2);
-        assert!(cache.tree(a).len() > cache.tree(b).len());
+        assert!(cache.tree(a).unwrap().len() > cache.tree(b).unwrap().len());
     }
 
     #[test]
@@ -298,11 +348,11 @@ mod tests {
         let (b, _) = cache.acquire(k, &table, |_| true);
         let (c, _) = cache.acquire(k, &table, |_| true);
         assert_eq!(cache.refs(a), 3);
-        assert!(!cache.release(a));
-        assert!(!cache.release(b));
+        assert_eq!(cache.release(a), Ok(false));
+        assert_eq!(cache.release(b), Ok(false));
         // Still readable through the remaining reference.
-        assert_eq!(cache.tree(c).root(), NodeId(2));
-        assert!(cache.release(c));
+        assert_eq!(cache.tree(c).unwrap().root(), NodeId(2));
+        assert_eq!(cache.release(c), Ok(true));
         assert_eq!(cache.live_trees(), 0);
         assert_eq!(cache.refs(c), 0);
     }
@@ -312,26 +362,37 @@ mod tests {
         let table = line_table(6);
         let mut cache = TreeCache::new();
         let (a, _) = cache.acquire(key(0, 0.0, 600.0), &table, |_| true);
-        let tree_len = cache.tree(a).len();
-        cache.release(a);
+        let tree_len = cache.tree(a).unwrap().len();
+        cache.release(a).unwrap();
         // Re-acquiring after a full release is a fresh build into the
         // recycled slot, with identical content.
         let (b, built) = cache.acquire(key(0, 0.0, 600.0), &table, |_| true);
         assert!(built);
         assert_eq!(cache.trees_built(), 2);
-        assert_eq!(cache.tree(b).len(), tree_len);
+        assert_eq!(cache.tree(b).unwrap().len(), tree_len);
         assert_eq!(cache.live_trees(), 1);
         assert_eq!(cache.peak_live_trees(), 1);
     }
 
     #[test]
-    #[should_panic]
-    fn double_release_panics() {
+    fn dead_handle_access_is_an_error_not_a_panic() {
         let table = line_table(4);
         let mut cache = TreeCache::new();
         let (a, _) = cache.acquire(key(0, 0.0, 500.0), &table, |_| true);
-        cache.release(a);
-        cache.release(a);
+        assert_eq!(cache.release(a), Ok(true));
+        // Every fallible path degrades to an error a daemon can answer with.
+        let err = cache.release(a).unwrap_err();
+        assert_eq!(err.slot(), 0);
+        assert!(cache.tree(a).is_err());
+        assert!(cache.key(a).is_err());
+        assert_eq!(cache.refs(a), 0);
+        assert!(!format!("{err}").is_empty());
+        // A handle that never came from this cache is equally refused.
+        assert!(cache.tree(TreeHandle(99)).is_err());
+        // The cache stays fully usable after the error.
+        let (b, built) = cache.acquire(key(0, 0.0, 500.0), &table, |_| true);
+        assert!(built);
+        assert_eq!(cache.refs(b), 1);
     }
 
     #[test]

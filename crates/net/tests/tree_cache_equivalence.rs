@@ -103,7 +103,11 @@ proptest! {
                 // for the same install, byte for byte (PartialEq covers
                 // parents, depths and the full discovery order).
                 let reference = naive.build(key.root(), &table, member_of(&positions, key));
-                prop_assert_eq!(cache.tree(handle), &reference, "user tree != naive reference");
+                prop_assert_eq!(
+                    cache.tree(handle).expect("freshly acquired handle is live"),
+                    &reference,
+                    "user tree != naive reference"
+                );
                 naive.recycle(reference);
 
                 held.push((key, handle));
@@ -121,7 +125,10 @@ proptest! {
             for (key, handle) in retiring {
                 let refs = expected_refs.get_mut(&key).unwrap();
                 *refs -= 1;
-                let freed = cache.release(handle);
+                // Inside the equivalence suite the refcount discipline is an
+                // invariant: a dead-handle error here still fails the test
+                // loudly, preserving the old panicking behavior.
+                let freed = cache.release(handle).expect("held handle is live");
                 // Freed exactly when the mirror count hits zero.
                 prop_assert_eq!(freed, *refs == 0, "free iff last holder, key {:?}", key);
                 prop_assert_eq!(cache.refs(handle), *refs);
@@ -136,7 +143,7 @@ proptest! {
         for (key, handle) in held.drain(..) {
             let refs = expected_refs.get_mut(&key).unwrap();
             *refs -= 1;
-            prop_assert_eq!(cache.release(handle), *refs == 0);
+            prop_assert_eq!(cache.release(handle).expect("held handle is live"), *refs == 0);
         }
         prop_assert_eq!(cache.live_trees(), 0, "trees leaked past the last retire");
         // Every acquisition was either a build or a genuine share.
@@ -158,12 +165,16 @@ proptest! {
         let mut cache = TreeCache::new();
         let (first, built) = cache.acquire(key, &table, member_of(&positions, key));
         prop_assert!(built);
-        let snapshot = cache.tree(first).clone();
-        prop_assert!(cache.release(first), "sole holder's release frees");
+        let snapshot = cache.tree(first).expect("live").clone();
+        prop_assert!(
+            cache.release(first).expect("sole holder is live"),
+            "sole holder's release frees"
+        );
+        prop_assert!(cache.release(first).is_err(), "double release is refused");
         let (second, rebuilt) = cache.acquire(key, &table, member_of(&positions, key));
         prop_assert!(rebuilt, "freed key must rebuild, not resurrect");
-        prop_assert_eq!(cache.tree(second), &snapshot);
-        cache.release(second);
+        prop_assert_eq!(cache.tree(second).expect("live"), &snapshot);
+        cache.release(second).expect("live handle");
         prop_assert_eq!(cache.trees_built(), 2);
         prop_assert_eq!(cache.shared_hits(), 0);
     }

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Sanity-check a mobiquery-repro/bench/v4 document.
+"""Sanity-check a mobiquery-repro/bench/v5 document.
 
 Shared by ci.sh and .github/workflows/ci.yml so the schema contract and the
 committed baseline figures live in exactly one place. Asserts:
@@ -11,9 +11,13 @@ committed baseline figures live in exactly one place. Asserts:
   generous by an order of magnitude on a quiet machine, so this only fires
   on a real regression);
 * the multi-user section: per-entry fleet/tree/success fields, the naive
-  baseline building one tree per install, and — at fleets of 100+ users —
-  the shared cache building strictly fewer trees than the naive
-  one-tree-per-user reference.
+  baseline building one tree per install, and — when the --users ceiling
+  admits fleets of 100+ users — the shared cache building strictly fewer
+  trees than the naive one-tree-per-user reference (smaller ceilings
+  legitimately truncate the ladder, so the assertion is conditional);
+* the service section (new in v5): the fixed reference load served by the
+  stepped engine, with success ratios in [0, 1] and p50 <= p99 <= max
+  latency.
 """
 
 import json
@@ -74,7 +78,10 @@ def check_multiuser(doc):
             entry["trees_built_shared"] <= entry["trees_built_naive"]
         ), f"multiuser/{users}: shared cache built MORE trees than naive"
         assert 0.0 <= entry["min_success_ratio"] <= entry["mean_success_ratio"] <= 1.0
-    if entries:
+    # The 100+-fleet sharing assertion only applies when the --users ceiling
+    # allows such a fleet in the ladder at all (`--bench --users 8` now
+    # honestly simulates at most 8 users).
+    if entries and doc.get("users", 0) >= 100:
         big = [e for e in entries if e["users"] >= 100]
         assert big, "multiuser sweep must include a fleet of 100+ users"
         for entry in big:
@@ -85,15 +92,49 @@ def check_multiuser(doc):
             )
 
 
+def check_service(doc):
+    service = doc["service"]
+    for field in (
+        "qps",
+        "duration_periods",
+        "sharing",
+        "submitted",
+        "rejected",
+        "starved",
+        "mean_success_ratio",
+        "min_success_ratio",
+        "latency",
+        "installs",
+        "trees_built",
+        "sharing_ratio",
+    ):
+        assert field in service, f"service: missing {field}"
+    assert service["submitted"] >= 1, "the reference load admitted no query"
+    assert (
+        0.0 <= service["min_success_ratio"] <= service["mean_success_ratio"] <= 1.0
+    ), "service success ratios out of [0, 1]"
+    latency = service["latency"]
+    assert latency["count"] + service["starved"] == service["submitted"], (
+        "every admitted query must be served or starved"
+    )
+    if latency["count"] > 0:
+        p50, p99 = latency["p50_periods"], latency["p99_periods"]
+        assert 0.0 <= p50 <= p99 <= latency["max_periods"], (
+            f"service latency percentiles disordered: p50 {p50}, p99 {p99}"
+        )
+    assert service["trees_built"] <= service["installs"]
+
+
 def main(path):
     with open(path) as f:
         doc = json.load(f)
-    assert doc["schema"] == "mobiquery-repro/bench/v4", doc["schema"]
+    assert doc["schema"] == "mobiquery-repro/bench/v5", doc["schema"]
     assert doc.get("host_cores", 0) >= 1, "host_cores missing from bench header"
     assert doc.get("users", 0) >= 1, "users missing from bench header"
     check_scale(doc)
     check_multiuser(doc)
-    print("bench/v4 setup breakdown + multiuser tree economy OK")
+    check_service(doc)
+    print("bench/v5 setup breakdown + multiuser tree economy + service load OK")
 
 
 if __name__ == "__main__":

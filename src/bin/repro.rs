@@ -11,18 +11,25 @@
 //! output is byte-identical whatever the job count — CI diffs `--jobs 1`
 //! against `--jobs 4` to enforce exactly that.
 
+use mobiquery::config::Scheme;
+use mobiquery::sim::TreeSharing;
 use mobiquery_experiments::runner::trial_seed;
 use mobiquery_experiments::{
     analysis_tables, fig4, fig5, fig6, fig7, fig8, multiuser, scale, ExperimentConfig,
 };
+use mobiquery_service::load::run_load;
+use mobiquery_service::serve::run_serve;
 use std::process::ExitCode;
 use std::time::Instant;
 use wsn_metrics::JsonValue;
 use wsn_sim::pool;
 
 const USAGE: &str = "usage: repro [options] <fig4|fig5|fig6|fig7|fig8|analysis|multiuser|all>
+       repro serve --periods N [service options]
+       repro load --qps Q --duration N [service options]
 
-Regenerates the MobiQuery paper's evaluation figures as tables/series.
+Regenerates the MobiQuery paper's evaluation figures as tables/series, or
+runs the long-lived query service (`serve`/`load`, see `repro serve --help`).
 
 Options:
   --quick            use the scaled-down scenario (fast, same qualitative shape)
@@ -30,9 +37,10 @@ Options:
   --jobs N           worker threads for the trial fan-out (default: all cores);
                      results are byte-identical for every N
   --users N          largest fleet of the multiuser sweep (default 8 quick /
-                     64 full); the sweep ladders up to N in powers of two, and
-                     every trial cross-checks shared flood trees against the
-                     naive one-tree-per-user reference
+                     64 full); the sweep ladders up to N in powers of two, the
+                     bench multiuser ladder is capped at N, and every trial
+                     cross-checks shared flood trees against the naive
+                     one-tree-per-user reference
   --format FMT       output format: text (default) or json
   --out PATH         write the output to PATH instead of stdout
   --bench PATH       time every requested target serial (--jobs 1) vs parallel,
@@ -46,6 +54,30 @@ Options:
                      the bench document's \"scale\" section; the largest size
                      also hosts the shared-vs-naive multi-user tree sweep in
                      the \"multiuser\" section
+  -h, --help         print this help and exit";
+
+const SERVICE_USAGE: &str = "usage: repro serve --periods N [service options]
+       repro load --qps Q --duration N [service options]
+
+Runs the long-lived query service on one deployment.
+
+`serve` submits a single resident query and streams its per-period results;
+`load` drives the service with a deterministic open-loop arrival schedule
+(exponential inter-arrivals, seed-derived) and reports per-query success and
+p50/p99 first-result latency in periods. Both emit deterministic JSON: bytes
+are identical for every `--jobs N` and stable for a fixed seed.
+
+Service options:
+  --periods N        (serve) periods to serve, at the scenario's query period
+  --qps Q            (load) offered load, queries per second (> 0)
+  --duration N       (load) service horizon in periods
+  --nodes N          deployment size, scaled at constant density (default:
+                     the quick/full base scenario, e.g. --nodes 1000)
+  --naive            one tree per query instead of shared flood trees
+  --quick            use the quick base scenario and seed
+  --jobs N           accepted for CI symmetry; the service is single-threaded
+                     and its output is byte-identical for every N
+  --out PATH         write the JSON to PATH instead of stdout
   -h, --help         print this help and exit";
 
 const ALL_TARGETS: [&str; 7] = [
@@ -67,6 +99,107 @@ enum Format {
 fn bad_usage() -> ExitCode {
     eprintln!("{USAGE}");
     ExitCode::FAILURE
+}
+
+fn bad_service_usage() -> ExitCode {
+    eprintln!("{SERVICE_USAGE}");
+    ExitCode::FAILURE
+}
+
+/// The `repro serve` / `repro load` subcommands.
+fn service_main(kind: &str, mut args: impl Iterator<Item = String>) -> ExitCode {
+    let mut periods: Option<u64> = None;
+    let mut qps: Option<f64> = None;
+    let mut duration: Option<u64> = None;
+    let mut nodes: Option<usize> = None;
+    let mut sharing = TreeSharing::Shared;
+    let mut quick = false;
+    let mut out_path: Option<String> = None;
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--periods" if kind == "serve" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => periods = Some(n),
+                _ => return bad_service_usage(),
+            },
+            "--qps" if kind == "load" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(q) if q.is_finite() && q > 0.0 => qps = Some(q),
+                _ => return bad_service_usage(),
+            },
+            "--duration" if kind == "load" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => duration = Some(n),
+                _ => return bad_service_usage(),
+            },
+            "--nodes" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => nodes = Some(n),
+                _ => return bad_service_usage(),
+            },
+            "--naive" => sharing = TreeSharing::Naive,
+            "--quick" => quick = true,
+            // The service is single-threaded; --jobs is accepted so CI can
+            // diff `--jobs 1` against `--jobs 4` byte for byte.
+            "--jobs" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => {}
+                _ => return bad_service_usage(),
+            },
+            "--out" => match args.next() {
+                Some(path) => out_path = Some(path),
+                None => return bad_service_usage(),
+            },
+            "--help" | "-h" => {
+                println!("{SERVICE_USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("repro {kind}: unexpected argument {other}\n");
+                return bad_service_usage();
+            }
+        }
+    }
+
+    let config = if quick {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::full()
+    };
+    let scenario = match nodes {
+        Some(n) => scale::scale_scenario(n, Scheme::JustInTime, config.base_seed),
+        None => config.base_scenario(),
+    };
+    let body = match kind {
+        "serve" => {
+            let Some(periods) = periods else {
+                eprintln!("repro serve: --periods is required\n");
+                return bad_service_usage();
+            };
+            match run_serve(scenario, periods, sharing) {
+                Ok(report) => report.to_json(),
+                Err(e) => {
+                    eprintln!("repro serve: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        _ => {
+            let (Some(qps), Some(duration)) = (qps, duration) else {
+                eprintln!("repro load: --qps and --duration are required\n");
+                return bad_service_usage();
+            };
+            match run_load(scenario, qps, duration, sharing) {
+                Ok(outcome) => outcome.report.to_json(),
+                Err(e) => {
+                    eprintln!("repro load: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+    let doc = JsonValue::object()
+        .with("schema", "mobiquery-repro/service/v1")
+        .with("mode", if quick { "quick" } else { "full" })
+        .with("base_seed", config.base_seed)
+        .with(kind, body);
+    emit(&doc.to_pretty_string(), out_path.as_deref())
 }
 
 /// Renders one target as display text.
@@ -181,9 +314,12 @@ fn bench_json(
     let multiuser = match scales.iter().max() {
         None => JsonValue::Array(Vec::new()),
         Some(&nodes) => {
+            // `--users` is the documented fleet ceiling: drop the ladder's
+            // fixed rungs above it instead of silently simulating a fleet
+            // the user asked not to pay for.
             let mut ladder: Vec<usize> = [1, 10, 100, config.users]
                 .into_iter()
-                .filter(|&u| u >= 1)
+                .filter(|&u| u >= 1 && u <= config.users)
                 .collect();
             ladder.sort_unstable();
             ladder.dedup();
@@ -200,9 +336,20 @@ fn bench_json(
             )
         }
     };
+    // The fixed reference load of the bench trajectory: 4 queries/s for 40
+    // periods against a 1000-node deployment, through the stepped service
+    // engine. Scale-independent of --scale so the committed numbers stay
+    // comparable across bench invocations.
+    let service = {
+        let scenario = scale::scale_scenario(1000, Scheme::JustInTime, config.base_seed);
+        run_load(scenario, 4.0, 40, TreeSharing::Shared)
+            .expect("the reference service load must run")
+            .report
+            .to_json()
+    };
     Some(
         JsonValue::object()
-            .with("schema", "mobiquery-repro/bench/v4")
+            .with("schema", "mobiquery-repro/bench/v5")
             .with("mode", if config.quick { "quick" } else { "full" })
             .with("runs", config.runs)
             .with("users", config.users)
@@ -213,7 +360,8 @@ fn bench_json(
             .with("parallel_jobs", config.jobs)
             .with("figures", figures)
             .with("scale", scale)
-            .with("multiuser", multiuser),
+            .with("multiuser", multiuser)
+            .with("service", service),
     )
 }
 
@@ -248,7 +396,13 @@ fn main() -> ExitCode {
     let mut scales: Vec<usize> = Vec::new();
     let mut targets: Vec<String> = Vec::new();
 
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
+    // `serve` / `load` are subcommands with their own option set.
+    if let Some(kind) = args.peek().filter(|a| a == &"serve" || a == &"load") {
+        let kind = kind.clone();
+        args.next();
+        return service_main(&kind, args);
+    }
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,

@@ -6,6 +6,8 @@
 //!
 //! * [`mobiquery`] — the protocol itself (query model, prefetching schemes,
 //!   Section 5 analysis, the full protocol simulation).
+//! * [`service`] — the long-lived query service (stepped engine, in-process
+//!   client API, open-loop load generator behind `repro serve`/`load`).
 //! * [`experiments`] — the per-figure experiment harness.
 //! * [`sim`] / [`net`] / [`power`] / [`mobility`] / [`geom`] / [`metrics`] —
 //!   the substrates (discrete-event engine, radio/MAC/PSM, CCP/energy,
@@ -30,6 +32,7 @@
 
 pub use mobiquery;
 pub use mobiquery_experiments as experiments;
+pub use mobiquery_service as service;
 pub use wsn_geom as geom;
 pub use wsn_metrics as metrics;
 pub use wsn_mobility as mobility;

@@ -1,0 +1,123 @@
+//! CLI argument handling of the `repro` binary.
+//!
+//! A daemon-shaped CLI gets scripted against, so malformed invocations must
+//! fail loudly: every bad flag exits non-zero with a usage message on
+//! stderr, and `--help` keeps exiting zero. These run the real binary via
+//! `CARGO_BIN_EXE_repro` — no argv mocking.
+
+use std::process::{Command, Output};
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("repro binary runs")
+}
+
+fn assert_usage_failure(args: &[&str]) {
+    let out = repro(args);
+    assert!(
+        !out.status.success(),
+        "`repro {}` should exit non-zero",
+        args.join(" ")
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("usage: repro"),
+        "`repro {}` should print usage on stderr, got:\n{stderr}",
+        args.join(" ")
+    );
+}
+
+#[test]
+fn help_exits_zero_with_usage_on_stdout() {
+    for args in [
+        &["--help"][..],
+        &["-h"],
+        &["serve", "--help"],
+        &["load", "-h"],
+    ] {
+        let out = repro(args);
+        assert!(out.status.success(), "`repro {}` exits 0", args.join(" "));
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("usage: repro"));
+    }
+}
+
+#[test]
+fn no_target_is_a_usage_error() {
+    assert_usage_failure(&[]);
+    assert_usage_failure(&["--quick"]);
+}
+
+#[test]
+fn zero_users_is_a_usage_error() {
+    assert_usage_failure(&["--users", "0", "multiuser"]);
+    assert_usage_failure(&["--users", "-3", "multiuser"]);
+    assert_usage_failure(&["--users", "many", "multiuser"]);
+    assert_usage_failure(&["--users"]);
+}
+
+#[test]
+fn malformed_scale_lists_are_usage_errors() {
+    assert_usage_failure(&["--bench", "/dev/null", "--scale", "", "fig4"]);
+    assert_usage_failure(&["--bench", "/dev/null", "--scale", "1000,,2000", "fig4"]);
+    assert_usage_failure(&["--bench", "/dev/null", "--scale", "1000,0", "fig4"]);
+    assert_usage_failure(&["--bench", "/dev/null", "--scale", "abc", "fig4"]);
+    assert_usage_failure(&["--bench", "/dev/null", "--scale"]);
+}
+
+#[test]
+fn unknown_flags_and_targets_are_usage_errors() {
+    assert_usage_failure(&["--frobnicate", "fig4"]);
+    assert_usage_failure(&["fig9"]);
+    assert_usage_failure(&["--format", "xml", "fig4"]);
+}
+
+#[test]
+fn serve_argument_errors_exit_nonzero_with_usage() {
+    // Missing required --periods.
+    assert_usage_failure(&["serve"]);
+    // Malformed values.
+    assert_usage_failure(&["serve", "--periods", "0"]);
+    assert_usage_failure(&["serve", "--periods", "soon"]);
+    assert_usage_failure(&["serve", "--periods"]);
+    assert_usage_failure(&["serve", "--periods", "5", "--nodes", "0"]);
+    // Flags of the other subcommand / unknown flags.
+    assert_usage_failure(&["serve", "--periods", "5", "--qps", "2"]);
+    assert_usage_failure(&["serve", "--periods", "5", "--frobnicate"]);
+}
+
+#[test]
+fn load_argument_errors_exit_nonzero_with_usage() {
+    assert_usage_failure(&["load"]);
+    assert_usage_failure(&["load", "--qps", "4"]);
+    assert_usage_failure(&["load", "--duration", "10"]);
+    assert_usage_failure(&["load", "--qps", "0", "--duration", "10"]);
+    assert_usage_failure(&["load", "--qps", "nan", "--duration", "10"]);
+    assert_usage_failure(&["load", "--qps", "4", "--duration", "0"]);
+    assert_usage_failure(&["load", "--qps", "4", "--duration", "10", "--periods", "5"]);
+}
+
+#[test]
+fn service_subcommands_succeed_on_valid_arguments() {
+    let out = repro(&["serve", "--periods", "2", "--quick"]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"schema\": \"mobiquery-repro/service/v1\""));
+    assert!(stdout.contains("\"serve\""));
+
+    let out = repro(&["load", "--qps", "2", "--duration", "4", "--quick"]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"load\""));
+    assert!(stdout.contains("\"latency\""));
+}
