@@ -13,6 +13,10 @@ run cargo fmt --check
 run cargo clippy --workspace --all-targets -- -D warnings
 run env RUSTDOCFLAGS='-D warnings' cargo doc --no-deps --workspace
 
+# The bench-schema gate itself is unit-tested: every assertion in
+# scripts/check_bench.py must fire in both directions.
+run python3 -m unittest discover -s scripts
+
 # Tier-1 verify: release build + the facade's test suite (integration, doc).
 run cargo build --release
 run cargo test -q
@@ -51,6 +55,19 @@ run cargo run --release -q --bin repro -- --quick --users 64 --format json \
     --jobs 4 --out target/repro-mu-jobs4.json multiuser
 run cmp target/repro-mu-jobs1.json target/repro-mu-jobs4.json
 
+# Churn gate: a 20k-node deployment losing (and regaining) 5% of its nodes
+# at every period boundary, repaired incrementally. The run itself proves
+# repair ≡ re-election twice over — the engine cross-checks EVERY batch
+# against a full priority election (nodes ≤ 200000 always verify) and the
+# experiment asserts the final backbone equals a from-scratch election —
+# and the cmp proves the deterministic output is byte-identical whatever
+# the worker count.
+run cargo run --release -q --bin repro -- --quick --scale 20000 \
+    --churn-rate 0.05 --format json --jobs 1 --out target/churn-jobs1.json churn
+run cargo run --release -q --bin repro -- --quick --scale 20000 \
+    --churn-rate 0.05 --format json --jobs 4 --out target/churn-jobs4.json churn
+run cmp target/churn-jobs1.json target/churn-jobs4.json
+
 # Service smoke: the long-lived query path must share the same determinism
 # contract as the batch runs — a fixed seed yields byte-identical JSON
 # whatever the worker count (--jobs is accepted and validated so the diff
@@ -72,16 +89,21 @@ run cmp target/load-jobs1.json target/load-jobs4.json
 # copy it over the committed snapshot when a PR deliberately updates the
 # perf trajectory:
 #   cargo run --release -q --bin repro -- --quick --users 250 \
-#       --bench BENCH_repro.json --scale 1000,2000,5000,10000,20000 all
+#       --bench BENCH_repro.json --scale 1000,2000,5000,10000,20000,100000 all
 run cargo run --release -q --bin repro -- --quick --users 100 \
     --bench target/BENCH_repro.json --scale 1000,2000 all
 
-# bench/v5 sanity: schema, host metadata, per-phase setup breakdown, the
+# bench/v6 sanity: schema, host metadata, per-phase setup breakdown, the
 # raster-election regression bound, the multi-user tree economy (shared
-# cache strictly beating one-tree-per-user at 100+ user fleets) and the
-# service load section, enforced by the script shared with the hosted
-# workflow — on both the fresh run and the committed snapshot.
+# cache strictly beating one-tree-per-user at 100+ user fleets), the churn
+# section (incremental repair beating full re-election at scale under
+# light churn) and the service load section, enforced by the script shared
+# with the hosted workflow — on both the fresh run and the committed
+# snapshot. The markdown renderer the workflow feeds $GITHUB_STEP_SUMMARY
+# with must keep accepting both documents too.
 run python3 scripts/check_bench.py target/BENCH_repro.json
 run python3 scripts/check_bench.py BENCH_repro.json
+run python3 scripts/bench_summary.py "fresh quick run" target/BENCH_repro.json >/dev/null
+run python3 scripts/bench_summary.py "committed snapshot" BENCH_repro.json >/dev/null
 
 echo "==> CI green"

@@ -11,9 +11,9 @@
 use crate::config::Scenario;
 use crate::error::ConfigError;
 use std::time::Instant;
-use wsn_geom::{Point, SpatialGrid};
-use wsn_net::NeighborTable;
-use wsn_power::ccp::elect_backbone;
+use wsn_geom::{Point, Rect, SpatialGrid};
+use wsn_net::{NeighborTable, NodeRole};
+use wsn_power::ccp::{elect_backbone, CcpConfig};
 use wsn_power::PowerPlan;
 use wsn_sim::SimRng;
 
@@ -38,6 +38,20 @@ impl Deployment {
     /// is what keeps the single-user event stream byte-identical to the
     /// pre-extraction construction).
     pub(crate) fn build(scenario: &Scenario, rng: &mut SimRng) -> Result<Self, ConfigError> {
+        Self::build_with(scenario, rng, elect_backbone)
+    }
+
+    /// [`Deployment::build`] with a caller-chosen election. The closure gets
+    /// the placed positions, the region, the CCP config and fork 2 of the
+    /// root RNG — which it may ignore (the churn-mode priority election is
+    /// deterministic without it), but which `build_with` always consumes so
+    /// the fork discipline (placement = fork 1, election = fork 2) holds for
+    /// every caller identically.
+    pub(crate) fn build_with(
+        scenario: &Scenario,
+        rng: &mut SimRng,
+        elect: impl FnOnce(&[Point], Rect, &CcpConfig, &mut SimRng) -> Vec<NodeRole>,
+    ) -> Result<Self, ConfigError> {
         let region = scenario.region();
         let phase_start = Instant::now();
         let ms_since = |start: Instant| start.elapsed().as_secs_f64() * 1e3;
@@ -64,7 +78,7 @@ impl Deployment {
         // --- Power management (CCP backbone + PSM schedule) --------------
         let phase_start = Instant::now();
         let mut ccp_rng = rng.fork(2);
-        let roles = elect_backbone(&positions, region, &scenario.ccp, &mut ccp_rng);
+        let roles = elect(&positions, region, &scenario.ccp, &mut ccp_rng);
         let ccp_ms = ms_since(phase_start);
 
         // The event loop only walks backbone adjacency (every flood and

@@ -11,19 +11,23 @@
 //! Every run is a pure function of its [`Scenario`] (including the seed), so
 //! figures are reproducible bit for bit.
 
+mod churn;
 mod deploy;
 mod event;
 mod multi;
 mod output;
 mod state;
 mod stepped;
+mod store;
 mod world;
 
+pub use churn::{ChurnBatchPlan, ChurnConfig};
 pub use event::SimEvent;
 pub use multi::{MultiSimulation, MultiUserOutput, QuerySet, TreeSharing, UserQuery};
 pub use output::SimulationOutput;
 pub use state::QueryState;
 pub use stepped::SteppedSim;
+pub use store::{priority_for, NodeStore};
 pub use world::SimWorld;
 
 use crate::config::{Scenario, Scheme};
@@ -201,11 +205,9 @@ impl Simulation {
             baseline.record(node, RadioState::Idle, Duration::from_secs_f64(base_idle));
             baseline.record(node, RadioState::Sleep, Duration::from_secs_f64(base_sleep));
 
-            let activity = world.activity[node.index()];
-            let tx = activity.tx_s.min(duration_s);
-            let rx = activity.rx_s.min(duration_s);
-            let extra = activity
-                .extra_awake_s
+            let tx = world.activity.tx_s[node.index()].min(duration_s);
+            let rx = world.activity.rx_s[node.index()].min(duration_s);
+            let extra = world.activity.extra_awake_s[node.index()]
                 .min(duration_s - base_idle.min(duration_s));
             let idle = (base_idle + extra - tx - rx).max(0.0);
             let sleep = (duration_s - base_idle - extra).max(0.0);

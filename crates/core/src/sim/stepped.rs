@@ -23,16 +23,19 @@
 
 use crate::config::Scenario;
 use crate::error::ConfigError;
+use crate::sim::churn::{ChurnBatchPlan, ChurnConfig};
 use crate::sim::deploy::Deployment;
 use crate::sim::multi::{MultiUserOutput, QuerySet, TreeSharing, UserQuery};
+use crate::sim::store::{priority_for, NodeStore};
 use std::collections::HashMap;
+use std::time::Instant;
 use wsn_geom::{Circle, Point, SpatialGrid};
-use wsn_metrics::{summarize_users, QueryLog, QueryRecord};
+use wsn_metrics::{summarize_users, ChurnBatch, QueryLog, QueryRecord};
 use wsn_net::{
-    Channel, FloodScratch, FloodTree, NeighborTable, NodeId, SleepSchedule, TreeCache,
+    Channel, FloodScratch, FloodTree, NeighborTable, NodeId, NodeRole, SleepSchedule, TreeCache,
     TreeCacheError, TreeHandle, TreeKey,
 };
-use wsn_power::PowerPlan;
+use wsn_power::{elect_backbone_priority, PowerPlan, RepairableBackbone};
 use wsn_sim::{mix_seed, SimRng, SimTime};
 
 /// Stream tag for per-query scoring draws (loss, wake jitter).
@@ -52,11 +55,24 @@ struct ActiveQuery {
     handle: Option<TreeHandle>,
 }
 
+/// Everything churn mode adds to the world: the repairable backbone, the
+/// topology epoch (bumped per batch so [`TreeKey`]s from different topologies
+/// never share a cached tree) and the per-batch log.
+#[derive(Debug)]
+struct ChurnState {
+    config: ChurnConfig,
+    backbone: RepairableBackbone,
+    epoch: u32,
+    log: Vec<ChurnBatch>,
+}
+
 /// The multi-user protocol world, stepped one period boundary at a time.
 #[derive(Debug)]
 struct MultiUserWorld {
     scenario: Scenario,
-    positions: Vec<Point>,
+    /// Struct-of-arrays node state (positions, priorities, energy, liveness,
+    /// slot free list). In a static run every slot just stays alive.
+    store: NodeStore,
     neighbors: NeighborTable,
     plan: PowerPlan,
     all_nodes_grid: SpatialGrid,
@@ -80,6 +96,8 @@ struct MultiUserWorld {
     /// Sleeping-node wake seconds the naive one-tree-per-user baseline would
     /// pay for the same installs (equal to `node_wake_seconds` in naive mode).
     node_wake_seconds_naive: f64,
+    /// Churn mode, when enabled via [`SteppedSim::with_churn`].
+    churn: Option<ChurnState>,
 }
 
 impl MultiUserWorld {
@@ -138,13 +156,14 @@ impl MultiUserWorld {
             let Some(collector) = self.backbone_grid.nearest(center).map(|(i, _)| NodeId(i)) else {
                 continue; // no backbone at all: the resolve records a miss
             };
-            let key = TreeKey::new(collector, center, relay_radius);
+            let epoch = self.churn.as_ref().map_or(0, |c| c.epoch);
+            let key = TreeKey::new(collector, center, relay_radius).with_epoch(epoch);
             self.installs += 1;
 
             let handle = match self.sharing {
                 TreeSharing::Shared => {
                     let (handle, built) = {
-                        let positions = &self.positions;
+                        let positions = self.store.positions();
                         let plan = &self.plan;
                         self.cache.acquire(key, &self.neighbors, |n| {
                             plan.is_backbone(n)
@@ -160,7 +179,7 @@ impl MultiUserWorld {
                             &self.channel,
                             &self.scenario,
                             &self.all_nodes_grid,
-                            &self.positions,
+                            self.store.positions(),
                             &self.plan,
                         )
                     };
@@ -172,7 +191,7 @@ impl MultiUserWorld {
                 }
                 TreeSharing::Naive => {
                     let tree = {
-                        let positions = &self.positions;
+                        let positions = self.store.positions();
                         let plan = &self.plan;
                         self.naive_scratch.build(collector, &self.neighbors, |n| {
                             plan.is_backbone(n)
@@ -187,7 +206,7 @@ impl MultiUserWorld {
                         &self.channel,
                         &self.scenario,
                         &self.all_nodes_grid,
-                        &self.positions,
+                        self.store.positions(),
                         &self.plan,
                     );
                     self.node_wake_seconds_naive += cost;
@@ -291,7 +310,7 @@ impl MultiUserWorld {
                     deadline,
                     loss_p,
                     &mut rng,
-                    &self.positions,
+                    self.store.positions(),
                     &self.all_nodes_grid,
                     &self.plan,
                     &self.schedule,
@@ -383,6 +402,137 @@ impl MultiUserWorld {
         let _ = aq.center;
         contributing
     }
+
+    /// Applies the seed-derived churn batch for `boundary` and repairs the
+    /// backbone incrementally. Deaths go first (freeing their slots), then
+    /// the same number of joins (deterministically recycling those slots, so
+    /// the population and the slot count stay fixed); the repair then
+    /// promotes/demotes only the perturbed nodes, the backbone grid is
+    /// patched from the flip log, the neighbour table is rebuilt over the
+    /// new backbone and the topology epoch is bumped so no tree built before
+    /// the batch is ever shared after it.
+    ///
+    /// # Errors
+    ///
+    /// With verification on, returns a [`ConfigError`] when the repaired
+    /// roles are not bit-identical to a full priority re-election.
+    fn apply_churn_batch(&mut self, boundary: u64) -> Result<(), ConfigError> {
+        let Some(mut churn) = self.churn.take() else {
+            return Ok(());
+        };
+        let result = self.churn_step(boundary, &mut churn);
+        self.churn = Some(churn);
+        result
+    }
+
+    fn churn_step(&mut self, boundary: u64, churn: &mut ChurnState) -> Result<(), ConfigError> {
+        let apply_start = Instant::now();
+        let region = self.scenario.region();
+        let alive = self.store.alive_slots();
+        let plan =
+            ChurnBatchPlan::generate(self.scenario.seed, boundary, churn.config.rate, &alive);
+        let deaths = plan.deaths.len();
+        let mut rng = plan.rng;
+        for &s in &plan.deaths {
+            let node = NodeId(s);
+            let pos = self.store.position(s);
+            self.all_nodes_grid.remove(s);
+            let role = self.plan.role(node);
+            if role.is_backbone() {
+                self.backbone_grid.remove(s);
+            }
+            churn.backbone.note_death(pos, role);
+            self.plan.set_role(node, NodeRole::DutyCycled);
+            self.store.kill(s);
+        }
+        // Joins recycle the slots the deaths just freed (deaths == joins and
+        // the free list is LIFO), so no slot array ever grows here and every
+        // slot stays within the power plan's node count.
+        for _ in 0..deaths {
+            let s = self.store.spawn_uniform(region, &mut rng);
+            let p = self.store.position(s);
+            self.plan.set_role(NodeId(s), NodeRole::DutyCycled);
+            self.all_nodes_grid.insert(s, p);
+            churn.backbone.note_join(p);
+        }
+        let apply_grid_ms = apply_start.elapsed().as_secs_f64() * 1e3;
+
+        let repair_start = Instant::now();
+        let stats = churn.backbone.repair(
+            self.store.positions(),
+            self.store.priorities(),
+            self.plan.roles_mut(),
+            &self.all_nodes_grid,
+        );
+        let repair_ms = repair_start.elapsed().as_secs_f64() * 1e3;
+
+        let apply_start = Instant::now();
+        for &(slot, now_backbone) in &stats.flips {
+            let s = slot as usize;
+            if now_backbone {
+                self.backbone_grid.insert(s, self.store.position(s));
+            } else {
+                self.backbone_grid.remove(s);
+            }
+        }
+        let comm_range = self.scenario.radio.comm_range_m;
+        let neighbors = {
+            let store = &self.store;
+            let roles = self.plan.roles();
+            NeighborTable::build_among(store.positions(), region, comm_range, |i| {
+                store.is_alive(i) && roles[i].is_backbone()
+            })
+        };
+        self.neighbors = neighbors;
+        // Per-boundary residual-energy accounting: backbone radios stay on,
+        // duty-cycled ones mostly sleep.
+        for s in 0..self.store.len() {
+            if !self.store.is_alive(s) {
+                continue;
+            }
+            let cost = if self.plan.roles()[s].is_backbone() {
+                0.01
+            } else {
+                0.001
+            };
+            self.store.drain(s, cost);
+        }
+        churn.epoch += 1;
+        let apply_ms = apply_grid_ms + apply_start.elapsed().as_secs_f64() * 1e3;
+
+        let verified = if churn.config.verify {
+            let alive_now = self.store.alive_slots();
+            let reference = elect_backbone_priority(
+                self.store.positions(),
+                self.store.priorities(),
+                &alive_now,
+                region,
+                &self.scenario.ccp,
+            );
+            if reference.as_slice() != self.plan.roles() {
+                return Err(ConfigError::new(format!(
+                    "incremental repair diverged from full re-election at boundary {boundary}"
+                )));
+            }
+            Some(true)
+        } else {
+            None
+        };
+        churn.log.push(ChurnBatch {
+            boundary,
+            deaths,
+            joins: deaths,
+            candidates: stats.candidates,
+            evaluated: stats.evaluated,
+            promoted: stats.promoted,
+            demoted: stats.demoted,
+            dirty_cells: stats.dirty_cells,
+            apply_ms,
+            repair_ms,
+            verified,
+        });
+        Ok(())
+    }
 }
 
 /// The stepped multi-user simulation: owns one deployment and walks period
@@ -415,6 +565,37 @@ impl SteppedSim {
         query_set: QuerySet,
         sharing: TreeSharing,
     ) -> Result<Self, ConfigError> {
+        Self::build(scenario, query_set, sharing, None)
+    }
+
+    /// [`SteppedSim::new`] with node churn enabled: every period boundary
+    /// `1 ≤ b < max_k` kills and joins `floor(rate × alive)` nodes (a pure
+    /// function of the scenario seed and the boundary) and repairs the
+    /// backbone incrementally instead of re-electing it. The backbone is
+    /// elected in stable priority order — **not** byte-identical to the
+    /// static path's shuffled election, which is why churn is an explicit
+    /// opt-in rather than `rate = 0` on the legacy constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] on an invalid churn rate, plus everything
+    /// [`SteppedSim::new`] rejects.
+    pub fn with_churn(
+        scenario: Scenario,
+        query_set: QuerySet,
+        sharing: TreeSharing,
+        churn: ChurnConfig,
+    ) -> Result<Self, ConfigError> {
+        churn.validate()?;
+        Self::build(scenario, query_set, sharing, Some(churn))
+    }
+
+    fn build(
+        scenario: Scenario,
+        query_set: QuerySet,
+        sharing: TreeSharing,
+        churn_config: Option<ChurnConfig>,
+    ) -> Result<Self, ConfigError> {
         scenario.validate()?;
         if query_set.max_k() != scenario.query.result_count() {
             return Err(ConfigError::new(format!(
@@ -424,15 +605,44 @@ impl SteppedSim {
             )));
         }
         let mut rng = SimRng::seed_from_u64(scenario.seed);
-        let deployment = Deployment::build(&scenario, &mut rng)?;
+        let (deployment, churn) = match churn_config {
+            None => (Deployment::build(&scenario, &mut rng)?, None),
+            Some(config) => {
+                // Same placement (fork 1) as the static path, but the
+                // election must be replayable incrementally, so churn mode
+                // elects in stable priority order (fork 2 is consumed and
+                // ignored, keeping the fork discipline identical).
+                let seed = scenario.seed;
+                let mut repairable = None;
+                let deployment =
+                    Deployment::build_with(&scenario, &mut rng, |positions, region, ccp, _rng| {
+                        let priorities: Vec<u64> = (0..positions.len() as u64)
+                            .map(|uid| priority_for(seed, uid))
+                            .collect();
+                        let alive: Vec<usize> = (0..positions.len()).collect();
+                        let (backbone, roles) =
+                            RepairableBackbone::new(positions, &priorities, &alive, region, ccp);
+                        repairable = Some(backbone);
+                        roles
+                    })?;
+                let backbone = repairable.expect("the election closure always runs");
+                let state = ChurnState {
+                    config,
+                    backbone,
+                    epoch: 0,
+                    log: Vec::new(),
+                };
+                (deployment, Some(state))
+            }
+        };
         let backbone_grid =
             Deployment::backbone_grid(&deployment.positions, &deployment.plan, &scenario);
         let schedule = scenario.sleep_schedule();
         let channel = Channel::new(scenario.radio, scenario.mac);
 
         let world = MultiUserWorld {
+            store: NodeStore::new(deployment.positions, scenario.seed),
             scenario,
-            positions: deployment.positions,
             neighbors: deployment.neighbors,
             plan: deployment.plan,
             all_nodes_grid: deployment.all_nodes_grid,
@@ -451,6 +661,7 @@ impl SteppedSim {
             installs: 0,
             node_wake_seconds: 0.0,
             node_wake_seconds_naive: 0.0,
+            churn,
         };
         Ok(SteppedSim {
             world,
@@ -484,6 +695,52 @@ impl SteppedSim {
     /// The last boundary of the run (= the scenario's period count).
     pub fn max_k(&self) -> u64 {
         self.world.query_set.max_k()
+    }
+
+    /// Per-boundary churn records so far (empty in a static run, and in a
+    /// churn run before boundary 1).
+    pub fn churn_log(&self) -> &[ChurnBatch] {
+        self.world.churn.as_ref().map_or(&[], |c| c.log.as_slice())
+    }
+
+    /// Number of live nodes right now (equals the scenario's node count in a
+    /// static run and — by deaths == joins — in churn runs too).
+    pub fn alive_count(&self) -> usize {
+        self.world.store.alive_count()
+    }
+
+    /// The current backbone membership as ascending slot indices — the
+    /// deterministic digest the CI churn gate compares across `--jobs`
+    /// settings and against [`SteppedSim::reference_reelection`].
+    pub fn backbone_slots(&self) -> Vec<u32> {
+        self.world
+            .plan
+            .backbone_nodes()
+            .map(|n| n.index() as u32)
+            .collect()
+    }
+
+    /// Runs a full from-scratch priority election over the current alive
+    /// nodes and returns its backbone as ascending slot indices. In a churn
+    /// run this must equal [`SteppedSim::backbone_slots`] (repair ≡
+    /// re-election); callers time this call to measure what the incremental
+    /// repair saves. Meaningless for [`SteppedSim::new`] runs, whose
+    /// backbone comes from the legacy shuffled election instead.
+    pub fn reference_reelection(&self) -> Vec<u32> {
+        let store = &self.world.store;
+        let alive = store.alive_slots();
+        let roles = elect_backbone_priority(
+            store.positions(),
+            store.priorities(),
+            &alive,
+            self.world.scenario.region(),
+            &self.world.scenario.ccp,
+        );
+        roles
+            .iter()
+            .enumerate()
+            .filter_map(|(s, r)| r.is_backbone().then_some(s as u32))
+            .collect()
     }
 
     /// `true` once every boundary has been stepped.
@@ -571,6 +828,12 @@ impl SteppedSim {
             )));
         }
         let now = SimTime::ZERO + self.world.scenario.query.period * b;
+        // Churn fires before the boundary's installs, so period `b+1` floods
+        // over the post-batch topology (the final boundary only resolves, so
+        // a batch there would repair a backbone nobody queries again).
+        if b >= 1 && b < max_k {
+            self.world.apply_churn_batch(b)?;
+        }
         if b < max_k {
             self.world.handle_period_install(now, b + 1)?;
             self.events_processed += 1;
@@ -660,7 +923,7 @@ impl SteppedSim {
             node_wake_seconds_naive: world.node_wake_seconds_naive,
             events_processed,
             backbone_count: world.plan.backbone_count(),
-            node_count: world.positions.len(),
+            node_count: world.store.len(),
             logs: world.logs,
         }
     }
@@ -820,5 +1083,96 @@ mod tests {
         sim.run_to_end().unwrap();
         let out = sim.finish();
         assert_eq!(out.logs[0].len(), 2, "exactly the installed periods score");
+    }
+
+    fn churned(seed: u64, rate: f64, verify: bool) -> SteppedSim {
+        let scenario = small_scenario(seed);
+        let set = QuerySet::generate(&scenario, 3);
+        SteppedSim::with_churn(
+            scenario,
+            set,
+            TreeSharing::Shared,
+            ChurnConfig { rate, verify },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn with_churn_rejects_bad_rates() {
+        let scenario = small_scenario(1);
+        for rate in [0.0, -0.1, 1.0, f64::NAN, f64::INFINITY] {
+            let set = QuerySet::generate(&scenario, 1);
+            let churn = ChurnConfig { rate, verify: true };
+            assert!(
+                SteppedSim::with_churn(scenario.clone(), set, TreeSharing::Shared, churn).is_err(),
+                "rate {rate} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn churn_walk_verifies_repair_at_every_boundary() {
+        // `verify: true` makes every boundary cross-check the incremental
+        // repair against a full priority re-election, so a clean run_to_end
+        // IS the equivalence assertion — for every batch in the schedule.
+        let mut sim = churned(11, 0.1, true);
+        let max_k = sim.max_k();
+        sim.run_to_end().unwrap();
+        let log = sim.churn_log();
+        assert_eq!(
+            log.len(),
+            (max_k - 1) as usize,
+            "one batch per 1 ≤ b < max_k"
+        );
+        assert!(log.iter().all(|b| b.verified == Some(true)));
+        assert!(log.iter().all(|b| b.deaths == b.joins));
+        assert!(
+            log.iter().any(|b| b.deaths > 0),
+            "a 10% rate on 80 nodes must actually churn"
+        );
+        assert_eq!(sim.alive_count(), sim.scenario().node_count);
+    }
+
+    #[test]
+    fn backbone_matches_reference_after_the_walk() {
+        let mut sim = churned(12, 0.05, false);
+        sim.run_to_end().unwrap();
+        let repaired = sim.backbone_slots();
+        assert!(!repaired.is_empty());
+        assert_eq!(repaired, sim.reference_reelection());
+    }
+
+    #[test]
+    fn churn_schedule_is_deterministic_in_the_seed() {
+        let walk = |seed| {
+            let mut sim = churned(seed, 0.08, false);
+            sim.run_to_end().unwrap();
+            let deaths: Vec<usize> = sim.churn_log().iter().map(|b| b.deaths).collect();
+            (deaths, sim.backbone_slots())
+        };
+        assert_eq!(walk(21), walk(21), "same seed, same schedule and backbone");
+        assert_ne!(
+            walk(21).1,
+            walk(22).1,
+            "different seeds churn different nodes"
+        );
+    }
+
+    #[test]
+    fn static_runs_have_no_churn_log() {
+        let mut sim = stepped(6, 2, TreeSharing::Shared);
+        sim.run_to_end().unwrap();
+        assert!(sim.churn_log().is_empty());
+        assert_eq!(sim.alive_count(), sim.scenario().node_count);
+    }
+
+    #[test]
+    fn churned_query_logs_stay_deterministic() {
+        let run = || {
+            let mut sim = churned(13, 0.05, false);
+            sim.run_to_end().unwrap();
+            sim.finish()
+        };
+        assert_eq!(run(), run());
     }
 }

@@ -1,0 +1,234 @@
+//! Struct-of-arrays node state with a slot free list.
+//!
+//! At churn scale (10⁵–10⁶ nodes, nodes dying and joining every period) the
+//! hot node state must stay flat and bounded: [`NodeStore`] keeps positions,
+//! residual energy, election priorities and liveness as parallel arrays
+//! indexed by **slot**, and recycles dead slots through a LIFO free list so a
+//! long churning run never grows beyond its peak population. Slot indices
+//! are what the rest of the world already uses as `NodeId`s, so the spatial
+//! grids, power plan and neighbour table keep indexing stably across churn.
+//!
+//! A recycled slot is a **new node**: it gets a fresh monotonically
+//! increasing uid, and its election priority is derived from that uid (not
+//! the slot), so a joiner can never inherit the priority — and hence the
+//! election fate — of the node whose slot it happens to reuse.
+
+use wsn_geom::{Point, Rect};
+use wsn_sim::{mix_seed, SimRng};
+
+/// Stream tag for per-node election priorities (keyed by uid).
+const PRIORITY_STREAM: u64 = 0x5EED_0000_0000_0004;
+
+/// Initial residual energy of every node, in joules (an accounting unit for
+/// the churn experiments, not a radio model — [`wsn_power::EnergyLedger`]
+/// owns the per-state radio power numbers).
+pub const INITIAL_ENERGY_J: f64 = 1.0;
+
+/// The election priority of the node with unique id `uid` in a deployment
+/// seeded with `seed` — a pure function, so an incremental repair and a
+/// from-scratch re-election derive identical orderings.
+pub fn priority_for(seed: u64, uid: u64) -> u64 {
+    mix_seed(seed, &[PRIORITY_STREAM, uid])
+}
+
+/// Slot-indexed struct-of-arrays node state with a free list.
+#[derive(Debug, Clone)]
+pub struct NodeStore {
+    positions: Vec<Point>,
+    energy: Vec<f64>,
+    priority: Vec<u64>,
+    alive: Vec<bool>,
+    /// Dead slots available for reuse, most recently freed last (LIFO).
+    free: Vec<u32>,
+    alive_count: usize,
+    next_uid: u64,
+    seed: u64,
+}
+
+impl NodeStore {
+    /// Creates a store with every slot alive at the given positions; slot
+    /// `s` starts with uid `s`, so the initial priorities match what any
+    /// caller derives from [`priority_for`]`(seed, slot)`.
+    pub fn new(positions: Vec<Point>, seed: u64) -> Self {
+        let n = positions.len();
+        let priority = (0..n as u64).map(|uid| priority_for(seed, uid)).collect();
+        NodeStore {
+            energy: vec![INITIAL_ENERGY_J; n],
+            priority,
+            alive: vec![true; n],
+            free: Vec::new(),
+            alive_count: n,
+            next_uid: n as u64,
+            seed,
+            positions,
+        }
+    }
+
+    /// Slot-indexed positions (dead slots hold their last position). The
+    /// borrow the query machinery works against — identical in shape to the
+    /// `Vec<Point>` it replaced.
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    /// Slot-indexed election priorities (dead slots hold stale values).
+    pub fn priorities(&self) -> &[u64] {
+        &self.priority
+    }
+
+    /// Position of slot `s`.
+    pub fn position(&self, s: usize) -> Point {
+        self.positions[s]
+    }
+
+    /// Residual energy of slot `s`, in joules.
+    pub fn energy(&self, s: usize) -> f64 {
+        self.energy[s]
+    }
+
+    /// Whether slot `s` currently holds a live node.
+    pub fn is_alive(&self, s: usize) -> bool {
+        self.alive[s]
+    }
+
+    /// Total slots ever allocated (the indexing bound for the parallel
+    /// arrays); dead slots included.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// `true` when no slot was ever allocated.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Number of live nodes.
+    pub fn alive_count(&self) -> usize {
+        self.alive_count
+    }
+
+    /// Live slots in ascending order.
+    pub fn alive_slots(&self) -> Vec<usize> {
+        (0..self.alive.len()).filter(|&s| self.alive[s]).collect()
+    }
+
+    /// Kills the node in slot `s`, recycling the slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is already dead.
+    pub fn kill(&mut self, s: usize) {
+        assert!(self.alive[s], "slot {s} is already dead");
+        self.alive[s] = false;
+        self.alive_count -= 1;
+        self.free.push(u32::try_from(s).expect("slot fits u32"));
+    }
+
+    /// Spawns a new node at `p`, reusing the most recently freed slot if one
+    /// exists (otherwise growing the arrays). The node gets a fresh uid and
+    /// a priority derived from it, plus full initial energy. Returns the
+    /// slot.
+    pub fn spawn(&mut self, p: Point) -> usize {
+        let uid = self.next_uid;
+        self.next_uid += 1;
+        let pri = priority_for(self.seed, uid);
+        match self.free.pop() {
+            Some(s) => {
+                let s = s as usize;
+                self.positions[s] = p;
+                self.energy[s] = INITIAL_ENERGY_J;
+                self.priority[s] = pri;
+                self.alive[s] = true;
+                self.alive_count += 1;
+                s
+            }
+            None => {
+                self.positions.push(p);
+                self.energy.push(INITIAL_ENERGY_J);
+                self.priority.push(pri);
+                self.alive.push(true);
+                self.alive_count += 1;
+                self.positions.len() - 1
+            }
+        }
+    }
+
+    /// Drains `amount` joules from slot `s`, clamped at zero.
+    pub fn drain(&mut self, s: usize, amount: f64) {
+        self.energy[s] = (self.energy[s] - amount).max(0.0);
+    }
+
+    /// Spawns a node at a uniform random position in `region` drawn from
+    /// `rng` — the join primitive of the churn plan.
+    pub fn spawn_uniform(&mut self, region: Rect, rng: &mut SimRng) -> usize {
+        let p = Point::new(
+            rng.gen_range_f64(region.min_x, region.max_x),
+            rng.gen_range_f64(region.min_y, region.max_y),
+        );
+        self.spawn(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(n: usize) -> NodeStore {
+        let positions = (0..n).map(|i| Point::new(i as f64, 0.0)).collect();
+        NodeStore::new(positions, 42)
+    }
+
+    #[test]
+    fn initial_priorities_match_the_pure_function() {
+        let s = store(5);
+        for slot in 0..5 {
+            assert_eq!(s.priorities()[slot], priority_for(42, slot as u64));
+        }
+        assert_eq!(s.alive_count(), 5);
+        assert_eq!(s.alive_slots(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn kill_then_spawn_recycles_lifo_with_fresh_identity() {
+        let mut s = store(4);
+        let old_priority = s.priorities()[2];
+        s.kill(2);
+        s.kill(1);
+        assert_eq!(s.alive_count(), 2);
+        assert_eq!(s.alive_slots(), vec![0, 3]);
+        // LIFO: the most recently freed slot (1) is reused first.
+        let a = s.spawn(Point::new(9.0, 9.0));
+        assert_eq!(a, 1);
+        let b = s.spawn(Point::new(8.0, 8.0));
+        assert_eq!(b, 2);
+        assert_ne!(
+            s.priorities()[2],
+            old_priority,
+            "a recycled slot must not inherit the dead node's priority"
+        );
+        assert_eq!(s.priorities()[2], priority_for(42, 5));
+        assert_eq!(s.energy(2), INITIAL_ENERGY_J);
+        assert_eq!(s.len(), 4, "recycling does not grow the arrays");
+        // Exhausted free list grows instead.
+        let c = s.spawn(Point::new(7.0, 7.0));
+        assert_eq!(c, 4);
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "already dead")]
+    fn double_kill_panics() {
+        let mut s = store(2);
+        s.kill(0);
+        s.kill(0);
+    }
+
+    #[test]
+    fn drain_clamps_at_zero() {
+        let mut s = store(1);
+        s.drain(0, 0.4);
+        assert!((s.energy(0) - (INITIAL_ENERGY_J - 0.4)).abs() < 1e-12);
+        s.drain(0, 100.0);
+        assert_eq!(s.energy(0), 0.0);
+    }
+}

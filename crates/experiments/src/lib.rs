@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis_tables;
+pub mod churn;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;

@@ -39,8 +39,12 @@ impl Circle {
     }
 
     /// Returns `true` when `point` lies inside or on the boundary.
+    ///
+    /// Evaluates the shared [`crate::covers`] predicate, so circle
+    /// containment, grid range queries and the coverage raster classify
+    /// boundary points identically.
     pub fn contains(&self, point: Point) -> bool {
-        self.center.distance_sq_to(point) <= self.radius * self.radius + 1e-9
+        crate::covers(self.center, self.radius, point)
     }
 
     /// Returns `true` when this circle and `other` overlap (share any point).

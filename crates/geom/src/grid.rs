@@ -162,11 +162,13 @@ impl SpatialGrid {
             .min(self.rows - 1);
         let min_cx = min_cx.min(self.cols - 1);
         let min_cy = min_cy.min(self.rows - 1);
-        let r_sq = r * r;
+        // The shared coverage predicate (same threshold as Circle::contains
+        // and the wsn-power coverage raster), hoisted out of the loop.
+        let r2e = crate::coverage_threshold(r);
         (min_cy..=max_cy)
             .flat_map(move |cy| (min_cx..=max_cx).map(move |cx| cy * self.cols + cx))
             .flat_map(move |idx| self.cells[idx].iter().copied())
-            .filter(move |(_, p)| center.distance_sq_to(*p) <= r_sq + 1e-9)
+            .filter(move |(_, p)| center.distance_sq_to(*p) <= r2e)
     }
 
     /// Iterator over the ids of all items inside the given circle.

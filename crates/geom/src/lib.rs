@@ -36,6 +36,46 @@ pub use rect::Rect;
 pub use segment::Segment;
 pub use vector::Vector;
 
+/// The epsilon added to squared-distance comparisons against a squared
+/// radius, absorbing the rounding of one f64 multiply-add so that points
+/// sitting exactly on a boundary (lattice samples at a disk edge, nodes at
+/// exactly `radius` from a query centre) classify consistently everywhere.
+///
+/// Every range predicate in the workspace — [`Circle::contains`], the
+/// [`SpatialGrid`] range queries and the coverage raster in `wsn-power` —
+/// must compare through [`coverage_threshold`] so this value can never drift
+/// between implementations (a drift of one ULP is enough to flip a lattice
+/// point between "covered" and "uncovered" and desynchronise the incremental
+/// backbone repair from the reference election).
+pub const COVERAGE_EPSILON: f64 = 1e-9;
+
+/// The comparison value of the shared coverage predicate:
+/// `radius² + COVERAGE_EPSILON`, the exact right-hand side every range check
+/// in the workspace compares a squared distance against.
+#[inline]
+pub fn coverage_threshold(radius: f64) -> f64 {
+    radius * radius + COVERAGE_EPSILON
+}
+
+/// The shared coverage predicate: is `point` within `radius` of `center`,
+/// boundary inclusive up to [`COVERAGE_EPSILON`]?
+///
+/// This is the single definition of "a node at `center` covers `point`"
+/// used by [`Circle::contains`], the [`SpatialGrid`] range queries and the
+/// CCP coverage machinery in `wsn-power`; all of them are bit-identical by
+/// construction because they all evaluate exactly this expression.
+///
+/// ```
+/// use wsn_geom::{covers, Point};
+///
+/// assert!(covers(Point::new(0.0, 0.0), 50.0, Point::new(30.0, 40.0)));
+/// assert!(!covers(Point::new(0.0, 0.0), 50.0, Point::new(30.1, 40.0)));
+/// ```
+#[inline]
+pub fn covers(center: Point, radius: f64, point: Point) -> bool {
+    center.distance_sq_to(point) <= coverage_threshold(radius)
+}
+
 /// Convenience constant: metres per second corresponding to one mile per hour.
 pub const MPH_TO_MPS: f64 = 0.44704;
 
@@ -65,6 +105,32 @@ pub fn mph_to_mps(mph: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn shared_predicate_agrees_with_circle_and_grid() {
+        let center = Point::new(10.0, 20.0);
+        let r = 50.0;
+        let circle = Circle::new(center, r);
+        let mut grid = SpatialGrid::new(Rect::square(200.0), r).unwrap();
+        // Probe points straddling the boundary, including the exact radius.
+        for (i, p) in [
+            Point::new(60.0, 20.0),               // exactly r away
+            Point::new(60.0 + 1e-7, 20.0),        // just outside
+            Point::new(59.999_999, 20.0),         // just inside
+            Point::new(10.0 + 30.0, 20.0 + 40.0), // 3-4-5 on the boundary
+            Point::new(10.0, 70.000_001),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            grid.insert(i, p);
+            let by_fn = covers(center, r, p);
+            assert_eq!(by_fn, circle.contains(p), "circle disagrees at {p}");
+            let by_grid = grid.query_range(center, r).any(|id| id == i);
+            assert_eq!(by_fn, by_grid, "grid disagrees at {p}");
+            grid.remove(i);
+        }
+    }
 
     #[test]
     fn mph_round_trip() {

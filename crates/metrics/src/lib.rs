@@ -21,6 +21,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod json;
 pub mod latency;
 pub mod multiuser;
@@ -28,6 +29,7 @@ pub mod query;
 pub mod series;
 pub mod table;
 
+pub use churn::{ChurnBatch, ChurnSummary};
 pub use json::JsonValue;
 pub use latency::{percentile_sorted, LatencyStats};
 pub use multiuser::{summarize_users, UserSummary};

@@ -77,18 +77,39 @@ pub struct TreeKey {
     center_x_bits: u64,
     center_y_bits: u64,
     radius_bits: u64,
+    /// Topology epoch the tree was built in. A world whose backbone changes
+    /// over time (node churn) bumps its epoch on every change, so trees
+    /// flooded over the old topology are never shared with installs issued
+    /// after it — the root/centre/radius triple alone no longer pins the tree
+    /// content once the underlying neighbour table can differ.
+    epoch: u32,
 }
 
 impl TreeKey {
     /// Builds the key for a flood rooted at `root` spanning nodes within
-    /// `radius_m` of `center`.
+    /// `radius_m` of `center`, in the initial topology epoch (0) — the right
+    /// key for static deployments.
     pub fn new(root: NodeId, center: Point, radius_m: f64) -> Self {
         TreeKey {
             root,
             center_x_bits: center.x.to_bits(),
             center_y_bits: center.y.to_bits(),
             radius_bits: radius_m.to_bits(),
+            epoch: 0,
         }
+    }
+
+    /// The same key re-tagged with a topology `epoch`; keys from different
+    /// epochs never compare equal, so they never share a cached tree.
+    #[must_use]
+    pub fn with_epoch(mut self, epoch: u32) -> Self {
+        self.epoch = epoch;
+        self
+    }
+
+    /// The topology epoch this key was issued in.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
     }
 
     /// The root (collector) node the tree is flooded from.

@@ -214,6 +214,79 @@ pub fn elect_backbone_reference(
     roles
 }
 
+/// Runs the CCP-style election over a slotted, partially-alive deployment in
+/// **stable priority order** — the reference full re-election of churn mode.
+///
+/// Unlike [`elect_backbone`], whose shuffled visit order cannot be replayed
+/// locally after the deployment changes, this variant visits the alive slots
+/// in ascending `(priority[slot], slot)` order. The order is a pure function
+/// of per-node values, so after a churn batch the incremental repair
+/// (`crate::repair`) can re-evaluate just the perturbed nodes and provably
+/// land on the same backbone this full pass elects — the equivalence the
+/// repair property tests pin.
+///
+/// `positions` and `priority` are slot-indexed (dead slots may hold stale
+/// values); only the slots listed in `alive_slots` participate. Returns one
+/// role per slot; dead slots come back [`NodeRole::DutyCycled`].
+///
+/// # Panics
+///
+/// Panics if the config is invalid, a slot is listed twice or out of range.
+pub fn elect_backbone_priority(
+    positions: &[Point],
+    priority: &[u64],
+    alive_slots: &[usize],
+    region: Rect,
+    config: &CcpConfig,
+) -> Vec<NodeRole> {
+    elect_backbone_priority_with_raster(positions, priority, alive_slots, region, config).0
+}
+
+/// [`elect_backbone_priority`] plus the post-election coverage raster, whose
+/// counts at that point are exactly "how many **backbone** nodes cover each
+/// sample point" — the seed state of [`crate::repair::RepairableBackbone`].
+pub(crate) fn elect_backbone_priority_with_raster(
+    positions: &[Point],
+    priority: &[u64],
+    alive_slots: &[usize],
+    region: Rect,
+    config: &CcpConfig,
+) -> (Vec<NodeRole>, CoverageRaster) {
+    assert!(
+        config.sensing_range_m > 0.0,
+        "sensing range must be positive"
+    );
+    assert!(
+        config.sample_spacing_m > 0.0,
+        "sample spacing must be positive"
+    );
+    assert_eq!(positions.len(), priority.len(), "slot arrays must agree");
+    let mut roles = vec![NodeRole::DutyCycled; positions.len()];
+    for &s in alive_slots {
+        assert!(
+            !roles[s].is_backbone(),
+            "slot {s} listed twice in alive_slots"
+        );
+        roles[s] = NodeRole::Backbone;
+    }
+    // Build bottom-to-top for memory locality, exactly like `build` (integer
+    // adds commute, so counts do not depend on insertion order).
+    let mut raster = CoverageRaster::new(region, config.sensing_range_m, config.sample_spacing_m);
+    let mut by_y: Vec<usize> = alive_slots.to_vec();
+    by_y.sort_unstable_by(|&a, &b| positions[a].y.total_cmp(&positions[b].y));
+    for s in by_y {
+        raster.add(positions[s]);
+    }
+    let mut order: Vec<usize> = alive_slots.to_vec();
+    order.sort_unstable_by_key(|&s| (priority[s], s));
+    for s in order {
+        if raster.try_demote(positions[s], config.coverage_degree) {
+            roles[s] = NodeRole::DutyCycled;
+        }
+    }
+    (roles, raster)
+}
+
 /// Convenience wrapper: runs the election and packages the result as a
 /// [`PowerPlan`] in which every duty-cycled node follows `schedule`.
 pub fn elect_power_plan(

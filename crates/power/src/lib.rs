@@ -18,6 +18,9 @@
 //!   dense per-sample-point coverage counts built once per deployment, so a
 //!   tentative demotion is an O(disk-points) pass with O(1) lookups instead
 //!   of a grid range query per point.
+//! * [`repair`] — incremental backbone repair under node churn: deaths and
+//!   joins mark a dirty coverage region and only the perturbed nodes are
+//!   re-elected, provably matching the full priority election bit for bit.
 //! * [`span`] — a SPAN-style connectivity-only election, used by the ablation
 //!   benchmarks to show the query service is not tied to one power protocol.
 //! * [`energy`] — per-node radio energy accounting against a
@@ -33,10 +36,12 @@ pub mod ccp;
 pub mod energy;
 pub mod plan;
 pub mod raster;
+pub mod repair;
 pub mod span;
 
-pub use ccp::{elect_backbone, elect_backbone_reference, CcpConfig};
+pub use ccp::{elect_backbone, elect_backbone_priority, elect_backbone_reference, CcpConfig};
 pub use energy::EnergyLedger;
 pub use plan::PowerPlan;
-pub use raster::CoverageRaster;
+pub use raster::{CoverageRaster, DirtyRegion};
+pub use repair::{RepairStats, RepairableBackbone};
 pub use span::elect_backbone_span;

@@ -53,6 +53,20 @@ impl PowerPlan {
         &self.roles
     }
 
+    /// Overwrites the role of `node` — the hook the incremental backbone
+    /// repair uses to apply promotion/demotion flips in place instead of
+    /// rebuilding the whole plan after every churn batch.
+    pub fn set_role(&mut self, node: NodeId, role: NodeRole) {
+        self.roles[node.index()] = role;
+    }
+
+    /// Mutable access to every per-node role, for
+    /// [`crate::repair::RepairableBackbone::repair`] to apply its flips in
+    /// place. Non-repair callers should use [`PowerPlan::set_role`].
+    pub fn roles_mut(&mut self) -> &mut [NodeRole] {
+        &mut self.roles
+    }
+
     /// Iterator over backbone node ids.
     pub fn backbone_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.roles

@@ -58,8 +58,9 @@ pub struct CoverageRaster {
     /// Cached y coordinate of every lattice row (`lattice.point(0, iy).y`).
     ys: Vec<f64>,
     sensing_range: f64,
-    /// The coverage threshold `sensing_range² + 1e-9`, exactly the
-    /// `Circle::contains` / grid `query_range` comparison value.
+    /// The shared coverage threshold [`wsn_geom::coverage_threshold`]
+    /// (`sensing_range² + ε`), exactly the `Circle::contains` / grid
+    /// `query_range` comparison value.
     r2e: f64,
 }
 
@@ -88,7 +89,7 @@ impl CoverageRaster {
             xs,
             ys,
             sensing_range,
-            r2e: sensing_range * sensing_range + 1e-9,
+            r2e: wsn_geom::coverage_threshold(sensing_range),
         }
     }
 
@@ -206,6 +207,25 @@ impl CoverageRaster {
         false
     }
 
+    /// Iterates `(sample point, coverage count)` over every lattice point the
+    /// sensing disk at `center` covers, or `None` when the disk misses the
+    /// lattice entirely. The incremental repair walks this to decide, point
+    /// by point, whether a candidate's disk is already covered (count fast
+    /// path) or needs a grid re-query.
+    pub(crate) fn disk_points(
+        &self,
+        center: Point,
+    ) -> Option<impl Iterator<Item = (Point, u32)> + '_> {
+        let spans = DiskSpans::over(&self.xs, &self.ys, center, self.r2e, self.sensing_range)?;
+        Some(spans.flat_map(move |(iy, lo, hi)| {
+            let y = self.ys[iy];
+            self.counts.row(iy)[lo..=hi]
+                .iter()
+                .enumerate()
+                .map(move |(off, &c)| (Point::new(self.xs[lo + off], y), c))
+        }))
+    }
+
     /// Adds `delta` (wrapping; ±1 in practice) to every lattice point covered
     /// by the sensing disk at `center`.
     fn update_covered(&mut self, center: Point, delta: u32) {
@@ -228,6 +248,112 @@ impl CoverageRaster {
                 *c = c.wrapping_add(delta);
             }
         }
+    }
+}
+
+/// Tracks which lattice cells' coverage changed across a churn batch: the
+/// dirty region of the incremental backbone repair.
+///
+/// Every death, join or role flip marks the disk of the affected node; the
+/// repair then restricts re-election to nodes whose sensing disk touches a
+/// dirty cell ([`DirtyRegion::touches`]) — the precise "re-run the election
+/// only over lattice cells whose coverage actually changed" filter. Marks
+/// are counted per cell (`u8`, saturating) so overlapping events stack, and
+/// [`DirtyRegion::clear`] resets the whole tracker between batches.
+///
+/// Uses the same lattice, disk-span walker and shared coverage predicate as
+/// [`CoverageRaster`], so "the cells a node's death would decrement" and
+/// "the cells its disk marks dirty" are the same set by construction.
+#[derive(Debug, Clone)]
+pub struct DirtyRegion {
+    marks: DenseRaster<u8>,
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    radius: f64,
+    r2e: f64,
+    dirty: usize,
+}
+
+impl DirtyRegion {
+    /// Creates a clean tracker over `region` for disks of `radius`, sampled
+    /// at `spacing`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` or `spacing` is not strictly positive and finite.
+    pub fn new(region: Rect, radius: f64, spacing: f64) -> Self {
+        assert!(
+            radius.is_finite() && radius > 0.0,
+            "dirty-region radius must be positive and finite"
+        );
+        let lattice = Lattice::new(region, spacing).expect("validated spacing");
+        let xs = (0..lattice.cols())
+            .map(|ix| lattice.point(ix, 0).x)
+            .collect();
+        let ys = (0..lattice.rows())
+            .map(|iy| lattice.point(0, iy).y)
+            .collect();
+        DirtyRegion {
+            marks: DenseRaster::new(lattice),
+            xs,
+            ys,
+            radius,
+            r2e: wsn_geom::coverage_threshold(radius),
+            dirty: 0,
+        }
+    }
+
+    /// Marks every lattice cell covered by the disk at `center` as dirty.
+    pub fn mark_disk(&mut self, center: Point) {
+        let DirtyRegion {
+            marks,
+            xs,
+            ys,
+            radius,
+            r2e,
+            dirty,
+        } = self;
+        let Some(spans) = DiskSpans::over(xs, ys, center, *r2e, *radius) else {
+            return;
+        };
+        for (iy, lo, hi) in spans {
+            for m in &mut marks.row_mut(iy)[lo..=hi] {
+                if *m == 0 {
+                    *dirty += 1;
+                }
+                *m = m.saturating_add(1);
+            }
+        }
+    }
+
+    /// Returns `true` when the disk at `center` covers at least one dirty
+    /// cell — i.e. when a node there could have had its election decision
+    /// perturbed by the changes recorded so far.
+    pub fn touches(&self, center: Point) -> bool {
+        let Some(spans) = DiskSpans::over(&self.xs, &self.ys, center, self.r2e, self.radius) else {
+            return false;
+        };
+        for (iy, lo, hi) in spans {
+            if self.marks.row(iy)[lo..=hi].iter().any(|&m| m > 0) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of cells currently marked dirty.
+    pub fn dirty_cells(&self) -> usize {
+        self.dirty
+    }
+
+    /// Resets every mark; the tracker is clean again.
+    pub fn clear(&mut self) {
+        if self.dirty > 0 {
+            for iy in 0..self.marks.lattice().rows() {
+                self.marks.row_mut(iy).fill(0);
+            }
+        }
+        self.dirty = 0;
     }
 }
 
@@ -485,6 +611,47 @@ mod tests {
         let mut r = CoverageRaster::new(region, 50.0, 5.0);
         r.add(far); // covers no lattice point
         assert!(r.eligible_to_sleep(far, 3));
+    }
+
+    #[test]
+    fn dirty_region_marks_touch_and_clear() {
+        let region = Rect::square(200.0);
+        let mut d = DirtyRegion::new(region, 50.0, 5.0);
+        assert_eq!(d.dirty_cells(), 0);
+        let event = Point::new(60.0, 60.0);
+        assert!(!d.touches(event), "clean tracker touches nothing");
+        d.mark_disk(event);
+        assert!(d.dirty_cells() > 0);
+        // A disk overlapping the event's disk touches; a far one does not.
+        assert!(d.touches(Point::new(140.0, 60.0)), "overlapping disk");
+        assert!(!d.touches(Point::new(180.0, 180.0)), "disjoint disk");
+        // Marks match exactly the cells a CoverageRaster add would touch.
+        let mut r = CoverageRaster::new(region, 50.0, 5.0);
+        r.add(event);
+        let lat = *r.lattice();
+        let mut marked = 0;
+        for iy in 0..lat.rows() {
+            for ix in 0..lat.cols() {
+                if r.count(ix, iy) > 0 {
+                    marked += 1;
+                }
+            }
+        }
+        assert_eq!(d.dirty_cells(), marked);
+        d.clear();
+        assert_eq!(d.dirty_cells(), 0);
+        assert!(!d.touches(event));
+    }
+
+    #[test]
+    fn dirty_region_overlapping_marks_stack() {
+        let mut d = DirtyRegion::new(Rect::square(100.0), 30.0, 5.0);
+        d.mark_disk(Point::new(50.0, 50.0));
+        let once = d.dirty_cells();
+        d.mark_disk(Point::new(50.0, 50.0));
+        assert_eq!(d.dirty_cells(), once, "re-marking adds no new dirty cells");
+        d.mark_disk(Point::new(60.0, 50.0));
+        assert!(d.dirty_cells() > once, "a shifted disk dirties new cells");
     }
 
     #[test]

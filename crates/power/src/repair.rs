@@ -1,0 +1,425 @@
+//! Incremental backbone repair under node churn.
+//!
+//! Re-running the full CCP election after every churn batch costs
+//! O(n · disk-points) even when only a handful of nodes died or joined. The
+//! [`RepairableBackbone`] instead re-elects **only over the lattice cells
+//! whose coverage changed**: each death or join marks the node's sensing disk
+//! in a [`DirtyRegion`], and the repair re-evaluates just the alive nodes
+//! whose own disks touch a dirty cell, promoting or demoting a handful of
+//! nodes instead of all n.
+//!
+//! ## Why repair ≡ full re-election, bit for bit
+//!
+//! The reference election ([`elect_backbone_priority`]) visits alive slots in
+//! ascending `(priority, slot)` key order; a node demotes itself exactly when
+//! the *other* nodes still active at its step `k`-cover its sensing disk. Two
+//! facts make a local repair exact:
+//!
+//! 1. **Locality.** A node's decision depends only on coverage counts at the
+//!    lattice points of its own disk. If no churn event's disk and no role
+//!    flip's disk shares a lattice point with node `s`'s disk, every count
+//!    `s` reads is unchanged, and so is its decision. The [`DirtyRegion`]
+//!    records exactly the cells whose counts changed, so "disk touches a
+//!    dirty cell" is a sound superset of "decision may have changed".
+//! 2. **Monotone key order.** The repair pops candidates from an ordered
+//!    worklist in ascending key. When candidate `s` is evaluated, every node
+//!    with a smaller key either was already re-evaluated (its role is final)
+//!    or provably kept its old decision — so `s` can reconstruct the exact
+//!    active set of its reference step: node `j ≠ s` is active iff
+//!    `key(j) > key(s)` (not yet demotable at `s`'s step) **or** `j` is
+//!    currently backbone (smaller-key survivors are final). When `s` flips,
+//!    the nodes whose steps could see the difference all have strictly larger
+//!    keys and overlapping disks; the repair enqueues exactly those, and
+//!    since inserted keys always exceed the key being popped, no slot is
+//!    ever evaluated twice.
+//!
+//! ## The backbone-count fast path
+//!
+//! Evaluating a candidate point by grid query costs ~disk-points × range
+//! query; done naively, moderate churn rates make repair *slower* than the
+//! full election. The repair therefore maintains a persistent
+//! [`CoverageRaster`] counting coverage **by current-backbone alive nodes
+//! only** (seeded by the initial election, patched on every death, join and
+//! flip). At any point `p` of candidate `s`'s disk, every current-backbone
+//! node `j ≠ s` is active at `s`'s reference step (smaller-key backbone
+//! survivors are final; larger-key nodes are active regardless of role), so
+//! `backbone_count(p) − (s is backbone)` lower-bounds the active-others
+//! count: when it already reaches `k`, the point is satisfied with an O(1)
+//! lookup and no grid query at all. Only points near the churn events fall
+//! through to the exact query.
+//!
+//! [`elect_backbone_priority`]: crate::ccp::elect_backbone_priority
+
+use std::collections::BTreeSet;
+
+use wsn_geom::{Point, Rect, SpatialGrid};
+use wsn_net::NodeRole;
+
+use crate::ccp::{elect_backbone_priority_with_raster, CcpConfig};
+use crate::raster::{CoverageRaster, DirtyRegion};
+
+/// Counters and role flips from one [`RepairableBackbone::repair`] call.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RepairStats {
+    /// Alive nodes seeded into the worklist because their disks touch a
+    /// dirty cell.
+    pub candidates: usize,
+    /// Total worklist pops (candidates plus flip-propagated re-evaluations).
+    pub evaluated: usize,
+    /// Nodes promoted to the backbone.
+    pub promoted: usize,
+    /// Nodes demoted to duty cycling.
+    pub demoted: usize,
+    /// Lattice cells that were dirty when the repair started.
+    pub dirty_cells: usize,
+    /// Every role change applied, as `(slot, is_now_backbone)` in evaluation
+    /// order — lets callers patch their own backbone indexes incrementally.
+    pub flips: Vec<(u32, bool)>,
+}
+
+/// A CCP backbone that absorbs node churn by incremental repair instead of
+/// full re-election, while provably electing the same backbone.
+///
+/// ## Protocol
+///
+/// 1. [`RepairableBackbone::new`] runs the full priority election once and
+///    returns the roles; the caller keeps the slot-indexed `roles` array.
+/// 2. Per churn event, call [`note_death`](RepairableBackbone::note_death)
+///    **after** removing the slot from the alive grid (passing the role the
+///    node held), or [`note_join`](RepairableBackbone::note_join) **after**
+///    inserting it. The caller sets dead slots to [`NodeRole::DutyCycled`]
+///    and starts joined slots as [`NodeRole::DutyCycled`] too — the repair
+///    promotes them if the election would.
+/// 3. After the batch, call [`repair`](RepairableBackbone::repair) with the
+///    current slot arrays, the alive grid and the same `roles` array; it
+///    applies promotions/demotions in place and returns [`RepairStats`].
+///
+/// The grid passed to `repair` must contain exactly the alive slots (it is
+/// both the alive-set oracle and the spatial index), and `positions[s]` /
+/// `priority[s]` must be stable for every alive slot between calls.
+#[derive(Debug, Clone)]
+pub struct RepairableBackbone {
+    config: CcpConfig,
+    /// Coverage counts over the **current backbone** only; see module docs.
+    backbone: CoverageRaster,
+    dirty: DirtyRegion,
+    /// Centres of the deaths/joins recorded since the last repair.
+    events: Vec<Point>,
+    /// Worklist seeding radius: a node whose disk overlaps an event's disk
+    /// is within `2r` of the event centre (plus slack for the lattice
+    /// epsilon), so querying this range around each event over-approximates
+    /// the touched set cheaply before the exact `DirtyRegion` filter.
+    seed_radius: f64,
+}
+
+impl RepairableBackbone {
+    /// Runs the full priority election over the alive slots and returns the
+    /// repairable backbone plus the elected slot-indexed roles (dead slots
+    /// are [`NodeRole::DutyCycled`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid config, mismatched slot arrays or a repeated
+    /// alive slot, like [`elect_backbone_priority`].
+    ///
+    /// [`elect_backbone_priority`]: crate::ccp::elect_backbone_priority
+    pub fn new(
+        positions: &[Point],
+        priority: &[u64],
+        alive_slots: &[usize],
+        region: Rect,
+        config: &CcpConfig,
+    ) -> (Self, Vec<NodeRole>) {
+        let (roles, backbone) =
+            elect_backbone_priority_with_raster(positions, priority, alive_slots, region, config);
+        let dirty = DirtyRegion::new(region, config.sensing_range_m, config.sample_spacing_m);
+        let repairable = RepairableBackbone {
+            config: *config,
+            backbone,
+            dirty,
+            events: Vec::new(),
+            seed_radius: 2.0 * config.sensing_range_m + 1.0,
+        };
+        (repairable, roles)
+    }
+
+    /// Records the death of a node at `pos` that held `role`. Call after
+    /// removing the slot from the alive grid and before setting its role to
+    /// [`NodeRole::DutyCycled`].
+    pub fn note_death(&mut self, pos: Point, role: NodeRole) {
+        self.dirty.mark_disk(pos);
+        if role.is_backbone() {
+            self.backbone.remove(pos);
+        }
+        self.events.push(pos);
+    }
+
+    /// Records a node joining at `pos`. Call after inserting the slot into
+    /// the alive grid; the caller starts the slot as [`NodeRole::DutyCycled`]
+    /// (the repair promotes it if the election would keep it active).
+    pub fn note_join(&mut self, pos: Point) {
+        self.dirty.mark_disk(pos);
+        self.events.push(pos);
+    }
+
+    /// Number of churn events recorded since the last repair.
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Re-elects over the dirty region only, applying role changes to
+    /// `roles` in place. After this call the backbone membership is
+    /// bit-identical to [`elect_backbone_priority`] over the current alive
+    /// slots (the equivalence the property tests pin).
+    ///
+    /// [`elect_backbone_priority`]: crate::ccp::elect_backbone_priority
+    pub fn repair(
+        &mut self,
+        positions: &[Point],
+        priority: &[u64],
+        roles: &mut [NodeRole],
+        alive: &SpatialGrid,
+    ) -> RepairStats {
+        let mut stats = RepairStats {
+            dirty_cells: self.dirty.dirty_cells(),
+            ..RepairStats::default()
+        };
+        if self.events.is_empty() {
+            return stats;
+        }
+        // Seed: alive nodes near an event whose disks touch a dirty cell.
+        let mut worklist: BTreeSet<(u64, usize)> = BTreeSet::new();
+        for &event in &self.events {
+            for s in alive.query_range(event, self.seed_radius) {
+                if self.dirty.touches(positions[s]) {
+                    worklist.insert((priority[s], s));
+                }
+            }
+        }
+        stats.candidates = worklist.len();
+        while let Some((pri, s)) = worklist.pop_first() {
+            stats.evaluated += 1;
+            let pos = positions[s];
+            let wants_backbone =
+                self.needs_to_stay_active(s, (pri, s), pos, priority, roles, alive);
+            if wants_backbone == roles[s].is_backbone() {
+                continue;
+            }
+            if wants_backbone {
+                roles[s] = NodeRole::Backbone;
+                self.backbone.add(pos);
+                stats.promoted += 1;
+            } else {
+                roles[s] = NodeRole::DutyCycled;
+                self.backbone.remove(pos);
+                stats.demoted += 1;
+            }
+            stats.flips.push((s as u32, wants_backbone));
+            // The flip changes the counts on this node's disk; only nodes at
+            // strictly later election steps with overlapping disks can see
+            // the difference. Inserted keys always exceed the popped key, so
+            // the ascending pop order never revisits a slot.
+            for j in alive.query_range(pos, self.seed_radius) {
+                if (priority[j], j) > (pri, s) {
+                    worklist.insert((priority[j], j));
+                }
+            }
+        }
+        self.events.clear();
+        self.dirty.clear();
+        stats
+    }
+
+    /// Whether node `s` must stay active in the reference election: true iff
+    /// some lattice point of its disk is not `k`-covered by the nodes active
+    /// at `s`'s election step (`key(j) > key(s)`, or `j` currently backbone).
+    fn needs_to_stay_active(
+        &self,
+        s: usize,
+        key: (u64, usize),
+        pos: Point,
+        priority: &[u64],
+        roles: &[NodeRole],
+        alive: &SpatialGrid,
+    ) -> bool {
+        let k = self.config.coverage_degree;
+        let own = u32::from(roles[s].is_backbone());
+        let Some(points) = self.backbone.disk_points(pos) else {
+            // A disk covering no lattice point is vacuously covered.
+            return false;
+        };
+        for (p, backbone_count) in points {
+            debug_assert!(backbone_count >= own, "backbone raster out of sync");
+            // Fast path: backbone nodes other than s are all active at s's
+            // step, so this lower bound reaching k settles the point.
+            if (backbone_count - own) as usize >= k {
+                continue;
+            }
+            let active_others = alive
+                .query_range(p, self.config.sensing_range_m)
+                .filter(|&j| j != s && ((priority[j], j) > key || roles[j].is_backbone()))
+                .take(k)
+                .count();
+            if active_others < k {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ccp::elect_backbone_priority;
+
+    /// Splitmix64, enough PRNG for deterministic test layouts.
+    fn mix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn uniform(state: &mut u64, hi: f64) -> f64 {
+        (mix(state) >> 11) as f64 / (1u64 << 53) as f64 * hi
+    }
+
+    struct World {
+        positions: Vec<Point>,
+        priority: Vec<u64>,
+        alive: Vec<usize>,
+        grid: SpatialGrid,
+        region: Rect,
+        config: CcpConfig,
+    }
+
+    fn seed_world(n: usize, side: f64, rng: &mut u64) -> World {
+        let region = Rect::square(side);
+        let positions: Vec<Point> = (0..n)
+            .map(|_| Point::new(uniform(rng, side), uniform(rng, side)))
+            .collect();
+        let priority: Vec<u64> = (0..n).map(|_| mix(rng)).collect();
+        let mut grid = SpatialGrid::new(region, 50.0).unwrap();
+        for (i, &p) in positions.iter().enumerate() {
+            grid.insert(i, p);
+        }
+        World {
+            positions,
+            priority,
+            alive: (0..n).collect(),
+            grid,
+            region,
+            config: CcpConfig::default(),
+        }
+    }
+
+    fn assert_equivalent(w: &World, roles: &[NodeRole], what: &str) {
+        let reference =
+            elect_backbone_priority(&w.positions, &w.priority, &w.alive, w.region, &w.config);
+        assert_eq!(roles, reference.as_slice(), "{what}");
+    }
+
+    #[test]
+    fn repair_matches_reference_across_churn_batches() {
+        let mut rng = 0x5eed_u64;
+        let mut w = seed_world(120, 400.0, &mut rng);
+        let (mut backbone, mut roles) =
+            RepairableBackbone::new(&w.positions, &w.priority, &w.alive, w.region, &w.config);
+        assert_equivalent(&w, &roles, "initial election");
+        for batch in 0..6 {
+            // Kill three random alive nodes.
+            for _ in 0..3 {
+                let pick = (mix(&mut rng) as usize) % w.alive.len();
+                let s = w.alive.swap_remove(pick);
+                w.grid.remove(s);
+                backbone.note_death(w.positions[s], roles[s]);
+                roles[s] = NodeRole::DutyCycled;
+            }
+            // Join three new ones (fresh slots, fresh priorities).
+            for _ in 0..3 {
+                let s = w.positions.len();
+                let p = Point::new(uniform(&mut rng, 400.0), uniform(&mut rng, 400.0));
+                w.positions.push(p);
+                w.priority.push(mix(&mut rng));
+                roles.push(NodeRole::DutyCycled);
+                w.alive.push(s);
+                w.grid.insert(s, p);
+                backbone.note_join(p);
+            }
+            w.alive.sort_unstable();
+            let stats = backbone.repair(&w.positions, &w.priority, &mut roles, &w.grid);
+            assert!(stats.dirty_cells > 0, "batch {batch} marked nothing");
+            assert_eq!(
+                stats.promoted + stats.demoted,
+                stats.flips.len(),
+                "flip log and counters disagree"
+            );
+            assert_equivalent(&w, &roles, &format!("after batch {batch}"));
+        }
+    }
+
+    #[test]
+    fn repair_without_events_is_a_no_op() {
+        let mut rng = 7_u64;
+        let w = seed_world(40, 200.0, &mut rng);
+        let (mut backbone, mut roles) =
+            RepairableBackbone::new(&w.positions, &w.priority, &w.alive, w.region, &w.config);
+        let before = roles.clone();
+        let stats = backbone.repair(&w.positions, &w.priority, &mut roles, &w.grid);
+        assert_eq!(stats, RepairStats::default());
+        assert_eq!(roles, before);
+    }
+
+    #[test]
+    fn death_of_sole_cover_promotes_a_sleeper() {
+        // Two colocated nodes: the election keeps one (the smaller key) and
+        // demotes the other. Killing the survivor must wake the sleeper.
+        let region = Rect::square(100.0);
+        let p = Point::new(50.0, 50.0);
+        let positions = vec![p, p];
+        let priority = vec![1, 2];
+        let alive = vec![0, 1];
+        let config = CcpConfig::default();
+        let mut grid = SpatialGrid::new(region, 50.0).unwrap();
+        grid.insert(0, p);
+        grid.insert(1, p);
+        let (mut backbone, mut roles) =
+            RepairableBackbone::new(&positions, &priority, &alive, region, &config);
+        // Key order: node 0 first; node 1 still active covers its disk, so 0
+        // sleeps and 1 (nobody left to cover it) stays.
+        assert_eq!(roles, vec![NodeRole::DutyCycled, NodeRole::Backbone]);
+        grid.remove(1);
+        backbone.note_death(p, roles[1]);
+        roles[1] = NodeRole::DutyCycled;
+        let stats = backbone.repair(&positions, &priority, &mut roles, &grid);
+        assert_eq!(roles, vec![NodeRole::Backbone, NodeRole::DutyCycled]);
+        assert_eq!((stats.promoted, stats.demoted), (1, 0));
+        assert_eq!(stats.flips, vec![(0, true)]);
+    }
+
+    #[test]
+    fn join_on_top_of_backbone_matches_reference() {
+        // A node joining on top of an existing backbone node adds coverage
+        // that can let earlier-key incumbents demote themselves — a cascade
+        // the repair must propagate exactly as the full election would.
+        let mut rng = 99_u64;
+        let mut w = seed_world(60, 250.0, &mut rng);
+        let (mut backbone, mut roles) =
+            RepairableBackbone::new(&w.positions, &w.priority, &w.alive, w.region, &w.config);
+        let keeper = roles
+            .iter()
+            .position(|r| r.is_backbone())
+            .expect("some backbone");
+        let s = w.positions.len();
+        w.positions.push(w.positions[keeper]);
+        w.priority.push(u64::MAX); // evaluated last, after every incumbent
+        roles.push(NodeRole::DutyCycled);
+        w.alive.push(s);
+        w.grid.insert(s, w.positions[keeper]);
+        backbone.note_join(w.positions[keeper]);
+        backbone.repair(&w.positions, &w.priority, &mut roles, &w.grid);
+        assert_equivalent(&w, &roles, "after colocated join");
+    }
+}

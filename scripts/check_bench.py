@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Sanity-check a mobiquery-repro/bench/v5 document.
+"""Sanity-check a mobiquery-repro/bench/v6 document.
 
 Shared by ci.sh and .github/workflows/ci.yml so the schema contract and the
 committed baseline figures live in exactly one place. Asserts:
@@ -15,9 +15,17 @@ committed baseline figures live in exactly one place. Asserts:
   admits fleets of 100+ users — the shared cache building strictly fewer
   trees than the naive one-tree-per-user reference (smaller ceilings
   legitimately truncate the ladder, so the assertion is conditional);
-* the service section (new in v5): the fixed reference load served by the
+* the service section (v5): the fixed reference load served by the
   stepped engine, with success ratios in [0, 1] and p50 <= p99 <= max
-  latency.
+  latency;
+* the churn section (new in v6): per-rate incremental-repair entries with
+  every batch verified against a full re-election at verifiable scales,
+  and — at large deployments under light churn, where repair is the whole
+  point — a mean per-batch repair cost at least REPAIR_ADVANTAGE times
+  below one full election.
+
+Unit-tested by scripts/test_check_bench.py (python3 -m unittest, run in the
+CI lint job).
 """
 
 import json
@@ -32,6 +40,36 @@ OLD_WHOLE_SETUP_MS = {
     10000: 182.3,
     20000: 389.54,
 }
+
+# The repair-vs-full-election bar: at REPAIR_ADVANTAGE_MIN_NODES nodes and
+# a per-boundary rate of at most REPAIR_ADVANTAGE_MAX_RATE, the mean
+# incremental repair must cost at least REPAIR_ADVANTAGE times less than
+# one full re-election. Heavier churn legitimately erodes the advantage
+# (more of the field goes dirty), so the bar only applies to light churn.
+REPAIR_ADVANTAGE = 4.0
+REPAIR_ADVANTAGE_MIN_NODES = 50_000
+REPAIR_ADVANTAGE_MAX_RATE = 0.002
+
+# Deployments at or below this size verify EVERY batch in-engine (mirrors
+# VERIFY_MAX_NODES in crates/experiments/src/churn.rs).
+VERIFY_MAX_NODES = 200_000
+
+CHURN_FIELDS = (
+    "nodes",
+    "rate",
+    "batches",
+    "deaths",
+    "evaluated",
+    "promoted",
+    "demoted",
+    "backbone_count",
+    "backbone_digest",
+    "per_batch_verified",
+    "repair_ms",
+    "mean_repair_ms",
+    "apply_ms",
+    "full_ccp_ms",
+)
 
 MULTIUSER_FIELDS = (
     "users",
@@ -92,6 +130,37 @@ def check_multiuser(doc):
             )
 
 
+def check_churn(doc):
+    entries = doc["churn"]
+    if doc["scale"]:
+        assert entries, "a --scale bench must carry the churn sweep"
+    for entry in entries:
+        nodes = entry.get("nodes", 0)
+        rate = entry.get("rate", 0.0)
+        label = f"churn/{nodes}@{rate}"
+        for field in CHURN_FIELDS:
+            assert field in entry, f"{label}: missing {field}"
+        assert entry["batches"] >= 1, f"{label}: a churn run must have batches"
+        assert entry["deaths"] >= 1, f"{label}: the schedule must actually churn"
+        assert entry["backbone_count"] >= 1, f"{label}: repaired backbone is empty"
+        assert len(entry["backbone_digest"]) == 16, f"{label}: malformed digest"
+        if nodes <= VERIFY_MAX_NODES:
+            assert entry["per_batch_verified"], (
+                f"{label}: every batch must be verified against a full "
+                f"re-election at verifiable scales"
+            )
+        assert entry["mean_repair_ms"] >= 0.0, f"{label}: negative repair time"
+        assert entry["full_ccp_ms"] > 0.0, f"{label}: full election not timed"
+        if nodes >= REPAIR_ADVANTAGE_MIN_NODES and rate <= REPAIR_ADVANTAGE_MAX_RATE:
+            assert (
+                entry["mean_repair_ms"] * REPAIR_ADVANTAGE < entry["full_ccp_ms"]
+            ), (
+                f"{label}: incremental repair ({entry['mean_repair_ms']} ms/batch) "
+                f"is not at least {REPAIR_ADVANTAGE}x cheaper than full "
+                f"re-election ({entry['full_ccp_ms']} ms)"
+            )
+
+
 def check_service(doc):
     service = doc["service"]
     for field in (
@@ -125,16 +194,24 @@ def check_service(doc):
     assert service["trees_built"] <= service["installs"]
 
 
-def main(path):
-    with open(path) as f:
-        doc = json.load(f)
-    assert doc["schema"] == "mobiquery-repro/bench/v5", doc["schema"]
+def check_doc(doc):
+    assert doc["schema"] == "mobiquery-repro/bench/v6", doc["schema"]
     assert doc.get("host_cores", 0) >= 1, "host_cores missing from bench header"
     assert doc.get("users", 0) >= 1, "users missing from bench header"
     check_scale(doc)
     check_multiuser(doc)
+    check_churn(doc)
     check_service(doc)
-    print("bench/v5 setup breakdown + multiuser tree economy + service load OK")
+
+
+def main(path):
+    with open(path) as f:
+        doc = json.load(f)
+    check_doc(doc)
+    print(
+        "bench/v6 setup breakdown + multiuser tree economy + churn repair + "
+        "service load OK"
+    )
 
 
 if __name__ == "__main__":

@@ -1,0 +1,225 @@
+#!/usr/bin/env python3
+"""Unit tests for check_bench.py, the bench/v6 schema gate.
+
+Run from the repository root (the CI lint job does exactly this):
+
+    python3 -m unittest discover -s scripts
+
+Each test builds a minimal valid document and mutates one thing, so every
+assertion in the checker is exercised in both directions.
+"""
+
+import copy
+import unittest
+
+import check_bench
+
+
+def valid_doc():
+    """The smallest document every check in check_bench.py accepts."""
+    return {
+        "schema": "mobiquery-repro/bench/v6",
+        "host_cores": 4,
+        "users": 8,
+        "scale": [
+            {
+                "nodes": 1000,
+                "jit": {"setup": {"neighbor_ms": 1.0, "ccp_ms": 2.0, "plan_ms": 0.1}},
+                "np": {"setup": {"neighbor_ms": 1.0, "ccp_ms": 2.0, "plan_ms": 0.1}},
+            }
+        ],
+        "multiuser": [
+            {
+                "users": 4,
+                "installs": 40,
+                "trees_built_shared": 30,
+                "trees_built_naive": 40,
+                "sharing_ratio": 0.75,
+                "mean_success_ratio": 0.9,
+                "min_success_ratio": 0.8,
+                "mean_fidelity": 0.95,
+                "node_wake_seconds_shared": 10.0,
+                "node_wake_seconds_naive": 12.0,
+            }
+        ],
+        "churn": [
+            {
+                "nodes": 1000,
+                "rate": 0.01,
+                "batches": 29,
+                "deaths": 290,
+                "evaluated": 5000,
+                "promoted": 200,
+                "demoted": 150,
+                "backbone_count": 260,
+                "backbone_digest": "f79285a53efd2296",
+                "per_batch_verified": True,
+                "repair_ms": 29.0,
+                "mean_repair_ms": 1.0,
+                "apply_ms": 10.0,
+                "full_ccp_ms": 20.0,
+            }
+        ],
+        "service": {
+            "qps": 4.0,
+            "duration_periods": 40,
+            "sharing": "shared",
+            "submitted": 100,
+            "rejected": 0,
+            "starved": 5,
+            "mean_success_ratio": 0.9,
+            "min_success_ratio": 0.7,
+            "latency": {
+                "count": 95,
+                "p50_periods": 1.0,
+                "p99_periods": 3.0,
+                "max_periods": 5.0,
+            },
+            "installs": 200,
+            "trees_built": 150,
+            "sharing_ratio": 0.75,
+        },
+    }
+
+
+class CheckDocTest(unittest.TestCase):
+    def mutated(self, mutate):
+        doc = copy.deepcopy(valid_doc())
+        mutate(doc)
+        return doc
+
+    def assert_rejected(self, mutate, fragment=""):
+        with self.assertRaises(AssertionError) as ctx:
+            check_bench.check_doc(self.mutated(mutate))
+        if fragment:
+            self.assertIn(fragment, str(ctx.exception))
+
+    def test_valid_document_passes(self):
+        check_bench.check_doc(valid_doc())
+
+    def test_wrong_schema_rejected(self):
+        self.assert_rejected(
+            lambda d: d.update(schema="mobiquery-repro/bench/v5"), "v5"
+        )
+
+    def test_missing_header_fields_rejected(self):
+        self.assert_rejected(lambda d: d.pop("host_cores"), "host_cores")
+        self.assert_rejected(lambda d: d.update(users=0), "users")
+
+
+class CheckScaleTest(CheckDocTest):
+    def test_missing_setup_phase_rejected(self):
+        self.assert_rejected(
+            lambda d: d["scale"][0]["jit"]["setup"].pop("ccp_ms"), "ccp_ms"
+        )
+
+    def test_ccp_regression_rejected(self):
+        # 1000 nodes has a committed pre-raster bound of 19.05 ms.
+        self.assert_rejected(
+            lambda d: d["scale"][0]["jit"]["setup"].update(ccp_ms=1000.0),
+            "exceeds the",
+        )
+
+    def test_unknown_scale_has_no_bound(self):
+        doc = self.mutated(
+            lambda d: (
+                d["scale"][0].update(nodes=123456),
+                d["scale"][0]["jit"]["setup"].update(ccp_ms=1e6),
+            )
+        )
+        check_bench.check_doc(doc)
+
+
+class CheckMultiuserTest(CheckDocTest):
+    def test_scale_bench_requires_multiuser_sweep(self):
+        self.assert_rejected(lambda d: d.update(multiuser=[]), "multiuser")
+
+    def test_naive_tree_count_must_equal_installs(self):
+        self.assert_rejected(
+            lambda d: d["multiuser"][0].update(trees_built_naive=39),
+            "one tree per install",
+        )
+
+    def test_shared_may_not_exceed_naive(self):
+        self.assert_rejected(
+            lambda d: d["multiuser"][0].update(trees_built_shared=41),
+            "MORE trees",
+        )
+
+    def test_big_fleet_must_share(self):
+        def grow(d):
+            d["users"] = 128
+            d["multiuser"][0].update(
+                users=128, trees_built_shared=40, trees_built_naive=40
+            )
+
+        self.assert_rejected(grow, "strictly fewer")
+
+
+class CheckChurnTest(CheckDocTest):
+    def test_scale_bench_requires_churn_sweep(self):
+        self.assert_rejected(lambda d: d.update(churn=[]), "churn")
+
+    def test_missing_field_rejected(self):
+        self.assert_rejected(
+            lambda d: d["churn"][0].pop("backbone_digest"), "backbone_digest"
+        )
+
+    def test_unverified_batches_rejected_at_verifiable_scale(self):
+        self.assert_rejected(
+            lambda d: d["churn"][0].update(per_batch_verified=False), "verified"
+        )
+
+    def test_unverified_batches_allowed_above_the_cap(self):
+        doc = self.mutated(
+            lambda d: d["churn"][0].update(
+                nodes=1_000_000, per_batch_verified=False
+            )
+        )
+        check_bench.check_doc(doc)
+
+    def test_repair_advantage_enforced_at_scale_under_light_churn(self):
+        def slow_repair(d):
+            d["churn"][0].update(
+                nodes=100_000, rate=0.001, mean_repair_ms=10.0, full_ccp_ms=20.0
+            )
+
+        self.assert_rejected(slow_repair, "cheaper than full")
+
+    def test_repair_advantage_waived_under_heavy_churn(self):
+        doc = self.mutated(
+            lambda d: d["churn"][0].update(
+                nodes=100_000, rate=0.05, mean_repair_ms=10.0, full_ccp_ms=20.0
+            )
+        )
+        check_bench.check_doc(doc)
+
+    def test_empty_backbone_rejected(self):
+        self.assert_rejected(
+            lambda d: d["churn"][0].update(backbone_count=0), "backbone"
+        )
+
+    def test_malformed_digest_rejected(self):
+        self.assert_rejected(
+            lambda d: d["churn"][0].update(backbone_digest="abc"), "digest"
+        )
+
+
+class CheckServiceTest(CheckDocTest):
+    def test_served_plus_starved_must_cover_submitted(self):
+        self.assert_rejected(
+            lambda d: d["service"].update(starved=0), "served or starved"
+        )
+
+    def test_disordered_percentiles_rejected(self):
+        self.assert_rejected(
+            lambda d: d["service"]["latency"].update(p50_periods=4.0),
+            "percentiles disordered",
+        )
+
+    def test_trees_bounded_by_installs(self):
+        self.assert_rejected(lambda d: d["service"].update(trees_built=201))
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -15,7 +15,7 @@ use mobiquery::config::Scheme;
 use mobiquery::sim::TreeSharing;
 use mobiquery_experiments::runner::trial_seed;
 use mobiquery_experiments::{
-    analysis_tables, fig4, fig5, fig6, fig7, fig8, multiuser, scale, ExperimentConfig,
+    analysis_tables, churn, fig4, fig5, fig6, fig7, fig8, multiuser, scale, ExperimentConfig,
 };
 use mobiquery_service::load::run_load;
 use mobiquery_service::serve::run_serve;
@@ -25,11 +25,13 @@ use wsn_metrics::JsonValue;
 use wsn_sim::pool;
 
 const USAGE: &str = "usage: repro [options] <fig4|fig5|fig6|fig7|fig8|analysis|multiuser|all>
+       repro [options] --churn-rate R churn
        repro serve --periods N [service options]
        repro load --qps Q --duration N [service options]
 
-Regenerates the MobiQuery paper's evaluation figures as tables/series, or
-runs the long-lived query service (`serve`/`load`, see `repro serve --help`).
+Regenerates the MobiQuery paper's evaluation figures as tables/series, runs
+the node-churn sweep (`churn`), or runs the long-lived query service
+(`serve`/`load`, see `repro serve --help`).
 
 Options:
   --quick            use the scaled-down scenario (fast, same qualitative shape)
@@ -41,6 +43,12 @@ Options:
                      bench multiuser ladder is capped at N, and every trial
                      cross-checks shared flood trees against the naive
                      one-tree-per-user reference
+  --churn-rate R     fraction of alive nodes killed (and replaced by joins) at
+                     every period boundary, 0 < R < 1; required by the `churn`
+                     target. Every trial repairs the backbone incrementally
+                     and asserts the result is identical to a full priority
+                     re-election; deployments up to 200000 nodes additionally
+                     cross-check every single batch
   --format FMT       output format: text (default) or json
   --out PATH         write the output to PATH instead of stdout
   --bench PATH       time every requested target serial (--jobs 1) vs parallel,
@@ -53,7 +61,9 @@ Options:
                      nearest-backbone micro-comparison per size, recorded in
                      the bench document's \"scale\" section; the largest size
                      also hosts the shared-vs-naive multi-user tree sweep in
-                     the \"multiuser\" section
+                     the \"multiuser\" section and the incremental-repair
+                     \"churn\" section. With the `churn` target: the deployment
+                     sizes to churn (default 20000, quick 5000)
   -h, --help         print this help and exit";
 
 const SERVICE_USAGE: &str = "usage: repro serve --periods N [service options]
@@ -95,6 +105,23 @@ enum Format {
     Text,
     Json,
 }
+
+/// Parameters of the `churn` target: the deployment sizes to churn and the
+/// per-boundary death/join rate.
+struct ChurnSpec {
+    scales: Vec<usize>,
+    rate: f64,
+}
+
+/// Churn rates of the `--bench` churn section: low enough that incremental
+/// repair must beat full re-election, plus heavier rates that trace where
+/// the advantage erodes. Fixed so the committed trajectory stays comparable
+/// across bench invocations.
+const BENCH_CHURN_RATES: [f64; 3] = [0.001, 0.01, 0.05];
+
+/// Fleet size of the bench churn section (small and fixed: the section
+/// measures repair, not the multi-user economics the multiuser section owns).
+const BENCH_CHURN_USERS: usize = 4;
 
 fn bad_usage() -> ExitCode {
     eprintln!("{USAGE}");
@@ -203,8 +230,16 @@ fn service_main(kind: &str, mut args: impl Iterator<Item = String>) -> ExitCode 
 }
 
 /// Renders one target as display text.
-fn target_text(name: &str, config: &ExperimentConfig) -> Option<String> {
+fn target_text(
+    name: &str,
+    config: &ExperimentConfig,
+    churn_spec: Option<&ChurnSpec>,
+) -> Option<String> {
     let out = match name {
+        "churn" => {
+            let spec = churn_spec?;
+            format!("{}\n", churn::run(config, &spec.scales, spec.rate))
+        }
         "fig4" => format!("{}\n", fig4::run(config)),
         "fig5" => {
             let out = fig5::run(config);
@@ -233,8 +268,16 @@ fn target_text(name: &str, config: &ExperimentConfig) -> Option<String> {
 }
 
 /// Renders one target as a JSON value.
-fn target_json(name: &str, config: &ExperimentConfig) -> Option<JsonValue> {
+fn target_json(
+    name: &str,
+    config: &ExperimentConfig,
+    churn_spec: Option<&ChurnSpec>,
+) -> Option<JsonValue> {
     let out = match name {
+        "churn" => {
+            let spec = churn_spec?;
+            churn::run_json(config, &spec.scales, spec.rate)
+        }
         "fig4" => fig4::run_json(config),
         "fig5" => fig5::run_json(config),
         "fig6" => fig6::run_json(config),
@@ -250,10 +293,14 @@ fn target_json(name: &str, config: &ExperimentConfig) -> Option<JsonValue> {
 /// The `--format json` document for a list of targets. Deliberately excludes
 /// the job count and any timing: the bytes must be identical for every
 /// `--jobs N`.
-fn results_json(targets: &[String], config: &ExperimentConfig) -> Option<JsonValue> {
+fn results_json(
+    targets: &[String],
+    config: &ExperimentConfig,
+    churn_spec: Option<&ChurnSpec>,
+) -> Option<JsonValue> {
     let mut results = JsonValue::object();
     for target in targets {
-        results = results.with(target.as_str(), target_json(target, config)?);
+        results = results.with(target.as_str(), target_json(target, config, churn_spec)?);
     }
     Some(
         JsonValue::object()
@@ -272,16 +319,17 @@ fn bench_json(
     targets: &[String],
     config: &ExperimentConfig,
     scales: &[usize],
+    churn_spec: Option<&ChurnSpec>,
 ) -> Option<JsonValue> {
     let mut figures = Vec::new();
     for target in targets {
         let serial_config = config.with_jobs(1);
         let start = Instant::now();
-        let serial = target_json(target, &serial_config)?;
+        let serial = target_json(target, &serial_config, churn_spec)?;
         let serial_ms = start.elapsed().as_secs_f64() * 1e3;
 
         let start = Instant::now();
-        let parallel = target_json(target, config)?;
+        let parallel = target_json(target, config, churn_spec)?;
         let parallel_ms = start.elapsed().as_secs_f64() * 1e3;
 
         assert_eq!(
@@ -336,6 +384,18 @@ fn bench_json(
             )
         }
     };
+    // The incremental-repair section rides on the largest requested scale
+    // too: that is where full re-election hurts most and where the committed
+    // trajectory must show mean_repair_ms ≪ full_ccp_ms at low rates.
+    let churn_section = match scales.iter().max() {
+        None => JsonValue::Array(Vec::new()),
+        Some(&nodes) => churn::bench_sweep(
+            nodes,
+            &BENCH_CHURN_RATES,
+            BENCH_CHURN_USERS,
+            config.base_seed,
+        ),
+    };
     // The fixed reference load of the bench trajectory: 4 queries/s for 40
     // periods against a 1000-node deployment, through the stepped service
     // engine. Scale-independent of --scale so the committed numbers stay
@@ -349,7 +409,7 @@ fn bench_json(
     };
     Some(
         JsonValue::object()
-            .with("schema", "mobiquery-repro/bench/v5")
+            .with("schema", "mobiquery-repro/bench/v6")
             .with("mode", if config.quick { "quick" } else { "full" })
             .with("runs", config.runs)
             .with("users", config.users)
@@ -361,6 +421,7 @@ fn bench_json(
             .with("figures", figures)
             .with("scale", scale)
             .with("multiuser", multiuser)
+            .with("churn", churn_section)
             .with("service", service),
     )
 }
@@ -394,6 +455,7 @@ fn main() -> ExitCode {
     let mut out_path: Option<String> = None;
     let mut bench_path: Option<String> = None;
     let mut scales: Vec<usize> = Vec::new();
+    let mut churn_rate: Option<f64> = None;
     let mut targets: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1).peekable();
@@ -430,6 +492,10 @@ fn main() -> ExitCode {
             "--bench" => match args.next() {
                 Some(path) => bench_path = Some(path),
                 None => return bad_usage(),
+            },
+            "--churn-rate" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(r) if r.is_finite() && r > 0.0 && r < 1.0 => churn_rate = Some(r),
+                _ => return bad_usage(),
             },
             "--scale" => {
                 let parsed: Option<Vec<usize>> = args
@@ -473,15 +539,34 @@ fn main() -> ExitCode {
         config = config.with_users(n);
     }
 
+    // `all` deliberately excludes `churn`: the figures reproduce the paper's
+    // static evaluation, churn is an explicit opt-in with its own required
+    // rate parameter.
     let expanded: Vec<String> = if targets.iter().any(|t| t == "all") {
         ALL_TARGETS.iter().map(|s| s.to_string()).collect()
     } else {
         targets
     };
-    if let Some(bad) = expanded.iter().find(|t| !ALL_TARGETS.contains(&t.as_str())) {
+    if let Some(bad) = expanded
+        .iter()
+        .find(|t| !ALL_TARGETS.contains(&t.as_str()) && t.as_str() != "churn")
+    {
         eprintln!("repro: unknown target {bad}\n");
         return bad_usage();
     }
+    let churn_requested = expanded.iter().any(|t| t == "churn");
+    if churn_requested && churn_rate.is_none() {
+        eprintln!("repro: the churn target requires --churn-rate\n");
+        return bad_usage();
+    }
+    let churn_spec = churn_rate.map(|rate| ChurnSpec {
+        scales: if scales.is_empty() {
+            vec![if quick { 5_000 } else { 20_000 }]
+        } else {
+            scales.clone()
+        },
+        rate,
+    });
 
     if let Some(path) = bench_path {
         // --bench is its own output mode: it writes the timing document to
@@ -491,25 +576,28 @@ fn main() -> ExitCode {
             eprintln!("repro: --bench cannot be combined with --out or --format\n");
             return bad_usage();
         }
-        let Some(doc) = bench_json(&expanded, &config, &scales) else {
+        let Some(doc) = bench_json(&expanded, &config, &scales, churn_spec.as_ref()) else {
             return bad_usage();
         };
         return emit(&doc.to_pretty_string(), Some(&path));
     }
-    if !scales.is_empty() {
-        eprintln!("repro: --scale requires --bench (the sweep lands in the bench document)\n");
+    if !scales.is_empty() && !churn_requested {
+        eprintln!(
+            "repro: --scale requires --bench or the churn target (the sweep lands in the \
+             bench document)\n"
+        );
         return bad_usage();
     }
 
     let content = match format.unwrap_or(Format::Text) {
-        Format::Json => match results_json(&expanded, &config) {
+        Format::Json => match results_json(&expanded, &config, churn_spec.as_ref()) {
             Some(doc) => doc.to_pretty_string(),
             None => return bad_usage(),
         },
         Format::Text => {
             let mut s = String::new();
             for target in &expanded {
-                match target_text(target, &config) {
+                match target_text(target, &config, churn_spec.as_ref()) {
                     Some(text) => s.push_str(&text),
                     None => return bad_usage(),
                 }

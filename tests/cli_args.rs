@@ -75,6 +75,77 @@ fn unknown_flags_and_targets_are_usage_errors() {
 }
 
 #[test]
+fn malformed_churn_rates_are_usage_errors() {
+    // A rate must be a finite fraction strictly between 0 and 1.
+    assert_usage_failure(&["--churn-rate", "0", "churn"]);
+    assert_usage_failure(&["--churn-rate", "-1", "churn"]);
+    assert_usage_failure(&["--churn-rate", "-0.05", "churn"]);
+    assert_usage_failure(&["--churn-rate", "1", "churn"]);
+    assert_usage_failure(&["--churn-rate", "1.5", "churn"]);
+    assert_usage_failure(&["--churn-rate", "nan", "churn"]);
+    assert_usage_failure(&["--churn-rate", "inf", "churn"]);
+    assert_usage_failure(&["--churn-rate", "abc", "churn"]);
+    assert_usage_failure(&["--churn-rate"]);
+}
+
+#[test]
+fn churn_target_requires_a_rate() {
+    assert_usage_failure(&["churn"]);
+    assert_usage_failure(&["--quick", "churn"]);
+    let out = repro(&["--quick", "churn"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--churn-rate"),
+        "the error must name the missing flag, got:\n{stderr}"
+    );
+}
+
+#[test]
+fn churn_scale_lists_are_validated_like_bench_ones() {
+    assert_usage_failure(&["--churn-rate", "0.05", "--scale", "10,abc", "churn"]);
+    assert_usage_failure(&["--churn-rate", "0.05", "--scale", "0", "churn"]);
+    assert_usage_failure(&["--churn-rate", "0.05", "--scale", "", "churn"]);
+    // --scale without --bench still needs the churn target to make sense.
+    assert_usage_failure(&["--scale", "1000", "fig4"]);
+}
+
+#[test]
+fn all_does_not_include_the_churn_target() {
+    // `all` reproduces the paper's static figures; churn must stay an
+    // explicit opt-in, so `repro all` must not fail for lack of a rate.
+    let out = repro(&["--help"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("--churn-rate R churn"));
+}
+
+#[test]
+fn churn_target_succeeds_on_valid_arguments() {
+    let out = repro(&[
+        "--quick",
+        "--scale",
+        "300",
+        "--churn-rate",
+        "0.1",
+        "--format",
+        "json",
+        "churn",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"churn\""));
+    assert!(stdout.contains("\"backbone_digest\""));
+    assert!(stdout.contains("\"per_batch_verified\": true"));
+    assert!(
+        !stdout.contains("_ms"),
+        "deterministic churn JSON must not leak wall-clock fields"
+    );
+}
+
+#[test]
 fn serve_argument_errors_exit_nonzero_with_usage() {
     // Missing required --periods.
     assert_usage_failure(&["serve"]);
