@@ -30,6 +30,7 @@ run cargo test -q --workspace --exclude mobiquery-repro
 run cargo bench --no-run -q
 run cargo bench --no-run -q -p mobiquery-bench --bench ccp_election
 run cargo bench --no-run -q -p mobiquery-bench --bench tree_sharing
+run cargo bench --no-run -q -p mobiquery-bench --bench event_queue
 
 # The examples and the CLI must stay runnable, not just compilable.
 for ex in quickstart firefighter rescue_robot duty_cycle_tuning parallel_sweep; do
@@ -70,8 +71,10 @@ run cmp target/churn-jobs1.json target/churn-jobs4.json
 
 # Service smoke: the long-lived query path must share the same determinism
 # contract as the batch runs — a fixed seed yields byte-identical JSON
-# whatever the worker count (--jobs is accepted and validated so the diff
-# below exercises the same argv shape as the batch gates).
+# whatever the worker count. --jobs N now shards each boundary's query
+# resolution across N pool workers *inside* the stepped engine, so the
+# jobs-1-vs-4 cmp is a real equivalence proof of the sharded hot path,
+# not just an argv-shape check.
 run cargo run --release -q --bin repro -- serve --periods 8 --quick \
     --jobs 1 --out target/serve-jobs1.json
 run cargo run --release -q --bin repro -- serve --periods 8 --quick \
@@ -93,8 +96,11 @@ run cmp target/load-jobs1.json target/load-jobs4.json
 run cargo run --release -q --bin repro -- --quick --users 100 \
     --bench target/BENCH_repro.json --scale 1000,2000 all
 
-# bench/v6 sanity: schema, host metadata, per-phase setup breakdown, the
-# raster-election regression bound, the multi-user tree economy (shared
+# bench/v7 sanity: schema, host metadata, per-phase setup breakdown, the
+# raster-election regression bound, the event-loop section (calendar-vs-
+# heap hold model, events/sec throughput, steady_allocs_per_period == 0,
+# and on the committed full sweep the multiuser serial hot loop and 20k
+# run beating the bench/v6 snapshot), the multi-user tree economy (shared
 # cache strictly beating one-tree-per-user at 100+ user fleets), the churn
 # section (incremental repair beating full re-election at scale under
 # light churn) and the service load section, enforced by the script shared

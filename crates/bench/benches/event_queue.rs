@@ -1,0 +1,76 @@
+//! Calendar queue vs the retired `BinaryHeap` scheduler, equality-asserted.
+//!
+//! Criterion twin of `mobiquery_experiments::eventq` (which feeds the bench
+//! document's `event_queue` section): the same hold-model workload drives
+//! both [`EventQueue`] and [`HeapEventQueue`], and before any timing runs the
+//! popped `(time, seq, payload)` traces are asserted identical — the bench
+//! itself re-proves the schedulers share one total order every time it runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wsn_sim::{EventQueue, HeapEventQueue, SimRng, SimTime};
+
+/// Deterministic hold-model offsets (µs ahead of the clock): a heavy share
+/// of ties and sub-period offsets plus a far-future tail, mirroring the
+/// protocol simulation's scheduling mix.
+fn offsets(events: usize, seed: u64) -> Vec<u64> {
+    let mut rng = SimRng::seed_from_u64(seed);
+    (0..events)
+        .map(|_| {
+            let draw = rng.gen_range_f64(0.0, 1.0);
+            if draw < 0.05 {
+                rng.gen_range_f64(1e6, 5e8) as u64
+            } else if draw < 0.25 {
+                0
+            } else {
+                rng.gen_range_f64(0.0, 50_000.0) as u64
+            }
+        })
+        .collect()
+}
+
+/// One hold-model pass: keep `hold` events resident, pop the earliest,
+/// schedule replacements, drain. Macro because the two queues are API twins
+/// without a shared trait.
+macro_rules! drive {
+    ($queue:expr, $offs:expr, $hold:expr) => {{
+        let mut queue = $queue;
+        let offs: &[u64] = $offs;
+        let mut popped: Vec<(SimTime, u64, u32)> = Vec::with_capacity(offs.len());
+        let mut next = 0usize;
+        while popped.len() < offs.len() {
+            if next < offs.len() && queue.len() < $hold {
+                let at = SimTime::from_micros(queue.now().as_micros() + offs[next]);
+                queue.schedule_at(at, next as u32);
+                next += 1;
+                continue;
+            }
+            let ev = queue.pop().expect("pending events remain");
+            popped.push((ev.time, ev.seq, ev.event));
+        }
+        popped
+    }};
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let events = 10_000usize;
+    for hold in [64usize, 4096] {
+        let offs = offsets(events, 42);
+        let calendar = drive!(EventQueue::<u32>::new(), &offs, hold);
+        let heap = drive!(HeapEventQueue::<u32>::new(), &offs, hold);
+        assert_eq!(
+            calendar, heap,
+            "calendar queue diverged from the heap reference at hold {hold}"
+        );
+
+        c.bench_function(format!("calendar_queue_hold_{hold}"), |b| {
+            b.iter(|| black_box(drive!(EventQueue::<u32>::new(), &offs, hold)))
+        });
+        c.bench_function(format!("heap_queue_hold_{hold}"), |b| {
+            b.iter(|| black_box(drive!(HeapEventQueue::<u32>::new(), &offs, hold)))
+        });
+    }
+}
+
+criterion_group!(benches, bench_event_queue);
+criterion_main!(benches);

@@ -339,6 +339,14 @@ impl MultiSimulation {
         self.stepped.query_set()
     }
 
+    /// Shards per-boundary resolution across `jobs` workers; see
+    /// [`SteppedSim::with_jobs`]. Output is byte-identical for any value.
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.stepped.set_jobs(jobs);
+        self
+    }
+
     /// Runs to the end of the query lifetime and aggregates the output.
     pub fn run(mut self) -> MultiUserOutput {
         self.stepped

@@ -36,7 +36,7 @@ use wsn_net::{
     TreeCacheError, TreeHandle, TreeKey,
 };
 use wsn_power::{elect_backbone_priority, PowerPlan, RepairableBackbone};
-use wsn_sim::{mix_seed, SimRng, SimTime};
+use wsn_sim::{mix_seed, pool, SimRng, SimTime};
 
 /// Stream tag for per-query scoring draws (loss, wake jitter).
 pub(crate) const QUERY_STREAM: u64 = 0x5EED_0000_0000_0003;
@@ -274,71 +274,86 @@ impl MultiUserWorld {
         cost
     }
 
-    /// Scores query `(user, k)` at its deadline and retires its tree
-    /// reference.
-    fn handle_query_resolve(&mut self, user: u32, k: u64) -> Result<(), ConfigError> {
+    /// Scores query `(user, k)` at its deadline — the read-only half of a
+    /// resolve. `nodes_in_area` is caller-provided recycled scratch (cleared
+    /// here), so the steady-state serial loop performs no heap allocation,
+    /// and because this takes `&self` only, a period's scores can be computed
+    /// for many users in parallel (every RNG draw comes from the dedicated
+    /// per-`(user, k)` stream, so scoring order is immaterial).
+    fn score_query(
+        &self,
+        user: u32,
+        k: u64,
+        nodes_in_area: &mut Vec<NodeId>,
+    ) -> Result<QueryRecord, ConfigError> {
         let deadline = self.deadline(k);
         let uq = &self.query_set.users()[user as usize];
         let actual = uq.motion.position_at(deadline);
         let area = Circle::new(actual, self.scenario.query.radius_m);
-        let mut nodes_in_area: Vec<NodeId> =
-            self.all_nodes_grid.query_circle(area).map(NodeId).collect();
+        nodes_in_area.clear();
+        nodes_in_area.extend(self.all_nodes_grid.query_circle(area).map(NodeId));
         // Sort so every scoring draw below happens in one deterministic order
         // whatever the grid's internal iteration order.
         nodes_in_area.sort_unstable();
 
-        let record = match self.active.remove(&(user, k)) {
-            None => QueryRecord::missed(k, deadline, nodes_in_area.len()),
-            Some(aq) => {
-                let mut rng = SimRng::seed_from_u64(mix_seed(
-                    self.scenario.seed,
-                    &[QUERY_STREAM, user as u64, k],
-                ));
-                let concurrency = self.query_set.active_users(k);
-                let loss_p = self
-                    .scenario
-                    .mac
-                    .loss_probability(concurrency.saturating_sub(1));
-                let tree = match aq.handle {
-                    Some(handle) => self.cache.tree(handle).map_err(cache_error)?,
-                    None => &self.naive_trees[&(user, k)],
-                };
-                let contributing = Self::count_contributing(
-                    tree,
-                    &nodes_in_area,
-                    &aq,
-                    deadline,
-                    loss_p,
-                    &mut rng,
-                    self.store.positions(),
-                    &self.all_nodes_grid,
-                    &self.plan,
-                    &self.schedule,
-                    &self.channel,
-                    &self.scenario,
-                );
-                // The query retires: drop this install's tree reference.
-                match aq.handle {
-                    Some(handle) => {
-                        self.cache.release(handle).map_err(cache_error)?;
-                    }
-                    None => {
-                        let tree = self
-                            .naive_trees
-                            .remove(&(user, k))
-                            .expect("naive tree present until resolve");
-                        self.naive_scratch.recycle(tree);
-                    }
+        let Some(aq) = self.active.get(&(user, k)) else {
+            return Ok(QueryRecord::missed(k, deadline, nodes_in_area.len()));
+        };
+        let mut rng = SimRng::seed_from_u64(mix_seed(
+            self.scenario.seed,
+            &[QUERY_STREAM, user as u64, k],
+        ));
+        let concurrency = self.query_set.active_users(k);
+        let loss_p = self
+            .scenario
+            .mac
+            .loss_probability(concurrency.saturating_sub(1));
+        let tree = match aq.handle {
+            Some(handle) => self.cache.tree(handle).map_err(cache_error)?,
+            None => &self.naive_trees[&(user, k)],
+        };
+        let contributing = Self::count_contributing(
+            tree,
+            nodes_in_area,
+            aq,
+            deadline,
+            loss_p,
+            &mut rng,
+            self.store.positions(),
+            &self.all_nodes_grid,
+            &self.plan,
+            &self.schedule,
+            &self.channel,
+            &self.scenario,
+        );
+        Ok(QueryRecord {
+            seq: k,
+            deadline,
+            delivered_at: Some(deadline),
+            contributing_nodes: contributing,
+            nodes_in_area: nodes_in_area.len(),
+        })
+    }
+
+    /// The mutating half of a resolve: retires `(user, k)`'s tree reference
+    /// and logs its record. Always applied serially, in fleet order, whatever
+    /// the scoring parallelism — so cache refcounts and logs evolve exactly
+    /// as in a serial run.
+    fn apply_resolve(&mut self, user: u32, k: u64, record: QueryRecord) -> Result<(), ConfigError> {
+        if let Some(aq) = self.active.remove(&(user, k)) {
+            match aq.handle {
+                Some(handle) => {
+                    self.cache.release(handle).map_err(cache_error)?;
                 }
-                QueryRecord {
-                    seq: k,
-                    deadline,
-                    delivered_at: Some(deadline),
-                    contributing_nodes: contributing,
-                    nodes_in_area: nodes_in_area.len(),
+                None => {
+                    let tree = self
+                        .naive_trees
+                        .remove(&(user, k))
+                        .expect("naive tree present until resolve");
+                    self.naive_scratch.recycle(tree);
                 }
             }
-        };
+        }
         self.logs[user as usize].push(record);
         Ok(())
     }
@@ -548,6 +563,11 @@ pub struct SteppedSim {
     world: MultiUserWorld,
     next_boundary: u64,
     events_processed: u64,
+    /// Worker threads sharding per-user resolution inside one boundary.
+    jobs: usize,
+    /// Recycled `nodes_in_area` buffer for the serial resolve path — reused
+    /// across boundaries so the warm steady state allocates nothing.
+    resolve_scratch: Vec<NodeId>,
 }
 
 impl SteppedSim {
@@ -649,7 +669,15 @@ impl SteppedSim {
             backbone_grid,
             schedule,
             channel,
-            logs: vec![QueryLog::new(); query_set.len()],
+            logs: query_set
+                .users()
+                .iter()
+                .map(|uq| {
+                    let mut log = QueryLog::new();
+                    log.reserve((uq.last_k - uq.first_k + 1) as usize);
+                    log
+                })
+                .collect(),
             query_set,
             sharing,
             cache: TreeCache::new(),
@@ -667,7 +695,31 @@ impl SteppedSim {
             world,
             next_boundary: 0,
             events_processed: 0,
+            jobs: 1,
+            resolve_scratch: Vec::new(),
         })
+    }
+
+    /// Shards per-user resolution across up to `jobs` [`pool`] workers inside
+    /// each [`SteppedSim::step_period`]. Scoring is read-only and every
+    /// `(user, k)` draws from its own RNG stream, while the mutating apply
+    /// phase always runs serially in fleet order — so logs, cache refcounts
+    /// and every byte of output are identical for any `jobs` value. `0` is
+    /// clamped to `1` (the fully inline path).
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.set_jobs(jobs);
+        self
+    }
+
+    /// Changes the resolve sharding width mid-run; see [`SteppedSim::with_jobs`].
+    pub fn set_jobs(&mut self, jobs: usize) {
+        self.jobs = jobs.max(1);
+    }
+
+    /// The resolve sharding width currently in effect.
+    pub fn jobs(&self) -> usize {
+        self.jobs
     }
 
     /// The query set as it currently stands (admissions included).
@@ -783,8 +835,11 @@ impl SteppedSim {
                 user.user, user.first_k, self.next_boundary
             )));
         }
+        let window = (user.last_k - user.first_k + 1) as usize;
         self.world.query_set.push(user);
-        self.world.logs.push(QueryLog::new());
+        let mut log = QueryLog::new();
+        log.reserve(window);
+        self.world.logs.push(log);
         Ok(index)
     }
 
@@ -839,12 +894,36 @@ impl SteppedSim {
             self.events_processed += 1;
         }
         if b >= 1 {
-            for index in 0..self.world.query_set.users().len() {
-                if !self.world.query_set.users()[index].active_in(b) {
-                    continue;
+            if self.jobs > 1 && self.world.query_set.active_users(b) >= 2 {
+                // Sharded path: the shared trees for this boundary are all
+                // installed, so per-user scoring is independent read-only
+                // work. Fan it over the pool, then apply serially in fleet
+                // order — byte-identical to `--jobs 1`.
+                let active: Vec<u32> = (0..self.world.query_set.users().len() as u32)
+                    .filter(|&u| self.world.query_set.users()[u as usize].active_in(b))
+                    .collect();
+                let world = &self.world;
+                let records = pool::run_indexed(self.jobs, active.clone(), |_, user| {
+                    world.score_query(user, b, &mut Vec::new())
+                });
+                for (user, record) in active.into_iter().zip(records) {
+                    self.world.apply_resolve(user, b, record?)?;
+                    self.events_processed += 1;
                 }
-                self.world.handle_query_resolve(index as u32, b)?;
-                self.events_processed += 1;
+            } else {
+                // Serial path: one recycled scratch buffer, zero allocations
+                // once warm. On error the scratch is dropped, but an erroring
+                // step poisons the world anyway.
+                let mut scratch = std::mem::take(&mut self.resolve_scratch);
+                for index in 0..self.world.query_set.users().len() {
+                    if !self.world.query_set.users()[index].active_in(b) {
+                        continue;
+                    }
+                    let record = self.world.score_query(index as u32, b, &mut scratch)?;
+                    self.world.apply_resolve(index as u32, b, record)?;
+                    self.events_processed += 1;
+                }
+                self.resolve_scratch = scratch;
             }
         }
         self.next_boundary = b + 1;
@@ -961,6 +1040,31 @@ mod tests {
             sim.run_to_end().unwrap();
             assert_eq!(sim.finish(), batch, "{sharing:?} walk diverged");
         }
+    }
+
+    #[test]
+    fn sharded_resolution_is_byte_identical_for_any_jobs() {
+        for sharing in [TreeSharing::Shared, TreeSharing::Naive] {
+            let mut serial = stepped(7, 6, sharing);
+            serial.run_to_end().unwrap();
+            let serial_out = serial.finish();
+            for jobs in [2, 4, 9] {
+                let mut sharded = stepped(7, 6, sharing).with_jobs(jobs);
+                assert_eq!(sharded.jobs(), jobs);
+                sharded.run_to_end().unwrap();
+                assert_eq!(
+                    sharded.finish(),
+                    serial_out,
+                    "{sharing:?} diverged at jobs={jobs}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn jobs_zero_clamps_to_the_inline_path() {
+        let sim = stepped(3, 2, TreeSharing::Shared).with_jobs(0);
+        assert_eq!(sim.jobs(), 1);
     }
 
     #[test]

@@ -95,6 +95,15 @@ pub struct SimWorld {
     /// Number of buffered-frame deliveries offered to each power-save active
     /// window (keyed by window index). Used by the PSM window-capacity model.
     pub(crate) window_offered: HashMap<u64, u32>,
+    /// Recycled `Vec<NodeId>` buffers for the per-message vectors the event
+    /// loop used to allocate fresh — prefetch hop paths, data-frame
+    /// contribution lists, broadcast fan-out and area scans. Vectors return
+    /// here when their message dies, so the steady-state loop reuses warm
+    /// capacity instead of hitting the allocator on every send.
+    vec_pool: Vec<Vec<NodeId>>,
+    /// How many times a pooled vector was handed back out (regression-tested:
+    /// a steady-state run must actually recycle, not just pool-and-leak).
+    pub(crate) vec_pool_reuses: u64,
 }
 
 impl SimWorld {
@@ -162,6 +171,29 @@ impl SimWorld {
             prefetch_len_samples: Vec::new(),
             max_prefetch_len: 0,
             window_offered: HashMap::new(),
+            vec_pool: Vec::new(),
+            vec_pool_reuses: 0,
+        }
+    }
+
+    /// Hands out a cleared buffer from the pool (or a fresh one the first few
+    /// times, until the pool warms up).
+    fn take_vec(&mut self) -> Vec<NodeId> {
+        match self.vec_pool.pop() {
+            Some(mut v) => {
+                v.clear();
+                self.vec_pool_reuses += 1;
+                v
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Returns a dead message's buffer to the pool. Zero-capacity vectors are
+    /// dropped: pooling them would recycle nothing.
+    fn recycle_vec(&mut self, v: Vec<NodeId>) {
+        if v.capacity() > 0 {
+            self.vec_pool.push(v);
         }
     }
 
@@ -344,8 +376,10 @@ impl SimWorld {
             Ok(path) => path.hops,
             Err(RouteError::Void { stuck_at, .. }) => {
                 // Greedy forwarding got stuck (a routing void): the closest
-                // reachable backbone node acts as the collector.
-                let mut hops = vec![from];
+                // reachable backbone node acts as the collector. The two-hop
+                // path comes from the recycled pool, not a fresh allocation.
+                let mut hops = self.take_vec();
+                hops.push(from);
                 if stuck_at != from {
                     hops.push(stuck_at);
                 }
@@ -377,10 +411,14 @@ impl SimWorld {
         queue: &mut EventQueue<SimEvent>,
     ) {
         if generation != self.generation {
-            return; // cancel message: stop relaying along the abandoned path
+            // Cancel message: stop relaying along the abandoned path.
+            self.recycle_vec(route);
+            return;
         }
         if index + 1 >= route.len() {
-            self.prefetch_arrived(now, generation, k, route[index], queue);
+            let arrived_at = route[index];
+            self.recycle_vec(route);
+            self.prefetch_arrived(now, generation, k, arrived_at, queue);
             return;
         }
         let sender = route[index];
@@ -511,14 +549,15 @@ impl SimWorld {
         // for coincident/symmetric positions, which random deployments never
         // produce.)
         let comm_range = self.scenario.radio.comm_range_m;
-        let sleeping_in_area: Vec<NodeId> = self
-            .all_nodes_grid
-            .query_circle(area)
-            .map(NodeId)
-            .filter(|&n| !self.plan.is_backbone(n))
-            .collect();
+        let mut sleeping_in_area = self.take_vec();
+        sleeping_in_area.extend(
+            self.all_nodes_grid
+                .query_circle(area)
+                .map(NodeId)
+                .filter(|&n| !self.plan.is_backbone(n)),
+        );
         let scratch = &self.flood_scratch;
-        for node in sleeping_in_area {
+        for &node in &sleeping_in_area {
             let pos = self.position(node);
             let parent = self
                 .all_nodes_grid
@@ -529,6 +568,7 @@ impl SimWorld {
                 state.sleeping_parent.insert(node, parent);
             }
         }
+        self.recycle_vec(sleeping_in_area);
 
         self.trees_built += 1;
         if let Some(stale) = self.queries.insert(k, state) {
@@ -562,20 +602,21 @@ impl SimWorld {
         attempt: u32,
         queue: &mut EventQueue<SimEvent>,
     ) {
-        let Some(state) = self.queries.get(&k) else {
-            return;
-        };
-        if now >= self.deadline(k) {
+        if !self.queries.contains_key(&k) || now >= self.deadline(k) {
             return;
         }
-        let pending: Vec<NodeId> = state
-            .tree
-            .children_of(node)
-            .iter()
-            .copied()
-            .filter(|child| !state.has_setup(*child))
-            .collect();
+        let mut pending = self.take_vec();
+        let state = self.queries.get(&k).expect("checked above");
+        pending.extend(
+            state
+                .tree
+                .children_of(node)
+                .iter()
+                .copied()
+                .filter(|child| !state.has_setup(*child)),
+        );
         if pending.is_empty() {
+            self.recycle_vec(pending);
             return;
         }
         let outcome = self.channel.transmit(
@@ -587,7 +628,7 @@ impl SimWorld {
         );
         let loss_p = self.scenario.mac.loss_probability(outcome.contenders);
         let mut any_missed = false;
-        for child in pending {
+        for &child in &pending {
             if self.rng.gen_bool(loss_p) {
                 any_missed = true;
             } else {
@@ -597,6 +638,7 @@ impl SimWorld {
                 );
             }
         }
+        self.recycle_vec(pending);
         if any_missed && attempt < self.scenario.max_retries {
             queue.schedule_at(
                 now + outcome.delay + Self::RETRY_GAP,
@@ -653,23 +695,27 @@ impl SimWorld {
         parent: NodeId,
         queue: &mut EventQueue<SimEvent>,
     ) {
-        let Some(state) = self.queries.get(&k) else {
+        if !self.queries.contains_key(&k) {
             return;
-        };
-        let mut targets: Vec<NodeId> = state
-            .sleeping_parent
-            .iter()
-            .filter(|(node, p)| **p == parent && !state.sleeping_ready.contains_key(node))
-            .map(|(node, _)| *node)
-            .collect();
+        }
+        let mut targets = self.take_vec();
+        let state = self.queries.get(&k).expect("checked above");
+        targets.extend(
+            state
+                .sleeping_parent
+                .iter()
+                .filter(|(node, p)| **p == parent && !state.sleeping_ready.contains_key(node))
+                .map(|(node, _)| *node),
+        );
         if targets.is_empty() {
+            self.recycle_vec(targets);
             return;
         }
         // Hash-map iteration order is unspecified; sort so that the RNG draws
         // below happen in a deterministic order and runs are reproducible.
         targets.sort_unstable();
         let window = self.schedule.active_window().as_secs_f64();
-        for node in targets {
+        for &node in &targets {
             // PSM buffering: the frame can only be handed over while the
             // duty-cycled node is awake, i.e. during an active window. The
             // attempt is jittered inside the window so that concurrent
@@ -688,6 +734,7 @@ impl SimWorld {
                 },
             );
         }
+        self.recycle_vec(targets);
     }
 
     fn handle_sleeping_deliver(
@@ -811,7 +858,9 @@ impl SimWorld {
         // sensor reading plus the expected channel-access time; the
         // transmission itself is charged inside `send_data`.
         self.charge(node, 0.010, 0.0, 0.0);
-        self.send_data(now, k, node, parent, vec![node], 0, queue);
+        let mut contributions = self.take_vec();
+        contributions.push(node);
+        self.send_data(now, k, node, parent, contributions, 0, queue);
     }
 
     /// Transmits a data frame from `from` to `to` with link-layer
@@ -831,6 +880,7 @@ impl SimWorld {
     ) {
         let deadline = self.deadline(k);
         if now >= deadline || contributions.is_empty() {
+            self.recycle_vec(contributions);
             return;
         }
         let data_bytes = self.scenario.messages.data_bytes;
@@ -873,19 +923,21 @@ impl SimWorld {
         contributions: Vec<NodeId>,
     ) {
         let deadline = self.deadline(k);
-        let Some(state) = self.queries.get_mut(&k) else {
-            return;
-        };
-        if node == state.collector {
-            if now <= deadline {
-                state.collector_received.extend(contributions);
+        if let Some(state) = self.queries.get_mut(&k) {
+            if node == state.collector {
+                if now <= deadline {
+                    state
+                        .collector_received
+                        .extend(contributions.iter().copied());
+                }
+            } else if !state.sent.contains(&node) {
+                state.accumulate(node, contributions.iter().copied());
             }
-        } else if !state.sent.contains(&node) {
-            state.accumulate(node, contributions);
+            // Contributions arriving at an interior node after it already
+            // forwarded its aggregate are lost — exactly the cost of the
+            // timeout scheme the paper describes.
         }
-        // Contributions arriving at an interior node after it already
-        // forwarded its aggregate are lost — exactly the cost of the timeout
-        // scheme the paper describes.
+        self.recycle_vec(contributions);
     }
 
     fn handle_aggregate_send(
@@ -917,15 +969,19 @@ impl SimWorld {
         }
         let parent = state.tree.parent_of(node);
         let collector = state.collector;
-        let mut contributions: Vec<NodeId> = set.into_iter().collect();
+        let mut contributions = self.take_vec();
+        contributions.extend(set.iter().copied());
         contributions.sort_unstable();
         match parent {
             None => {
                 // This is the collector (or an orphan): deliver locally.
                 if node == collector && now <= deadline {
                     let state = self.queries.get_mut(&k).expect("state present");
-                    state.collector_received.extend(contributions);
+                    state
+                        .collector_received
+                        .extend(contributions.iter().copied());
                 }
+                self.recycle_vec(contributions);
             }
             Some(parent) => self.send_data(now, k, node, parent, contributions, 0, queue),
         }
@@ -939,8 +995,8 @@ impl SimWorld {
         let deadline = self.deadline(k);
         let actual_user = self.motion.position_at(deadline);
         let area = Circle::new(actual_user, self.scenario.query.radius_m);
-        let nodes_in_area: Vec<NodeId> =
-            self.all_nodes_grid.query_circle(area).map(NodeId).collect();
+        let mut nodes_in_area = self.take_vec();
+        nodes_in_area.extend(self.all_nodes_grid.query_circle(area).map(NodeId));
 
         // Sample the prefetch length (trees standing for future queries).
         let ahead = self.queries.keys().filter(|&&j| j > k).count();
@@ -974,6 +1030,7 @@ impl SimWorld {
                 record
             }
         };
+        self.recycle_vec(nodes_in_area);
         self.log.push(record);
     }
 
@@ -1031,5 +1088,33 @@ impl World for SimWorld {
             SimEvent::QueryDeadline { k } => self.handle_query_deadline(now, k),
             SimEvent::NpLaunch { k } => self.handle_np_launch(now, k, queue),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::{Scenario, Scheme};
+    use crate::sim::Simulation;
+    use wsn_sim::SimTime;
+
+    #[test]
+    fn hot_path_vectors_are_recycled() {
+        // A steady-state run must actually reuse pooled buffers for its hop
+        // paths and contribution lists — pool-and-never-take would silently
+        // reintroduce the per-message allocations this pool removes.
+        let scenario = Scenario::paper_default()
+            .with_node_count(80)
+            .with_region_side(300.0)
+            .with_scheme(Scheme::JustInTime)
+            .with_seed(11)
+            .with_duration_secs(40.0);
+        let mut sim = Simulation::new(scenario).unwrap();
+        sim.engine.run_until(SimTime::MAX);
+        let world = sim.engine.world();
+        assert!(
+            world.vec_pool_reuses > 100,
+            "expected the hot loop to recycle buffers, saw {} reuses",
+            world.vec_pool_reuses
+        );
     }
 }

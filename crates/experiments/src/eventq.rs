@@ -1,0 +1,138 @@
+//! Scheduler micro-comparison: the calendar-queue [`EventQueue`] against the
+//! retired [`HeapEventQueue`] reference, on a hold-model workload.
+//!
+//! The hold model is the classic priority-queue benchmark shape and matches
+//! what the protocol simulation does: keep roughly `hold` events resident,
+//! popping the earliest and scheduling replacements a bounded offset into the
+//! future. Every run drives both queues over the same deterministic offset
+//! stream and asserts the popped `(time, seq, payload)` traces are identical
+//! before any timing is reported — a wrong-but-fast scheduler can never land
+//! in the bench document.
+
+use std::hint::black_box;
+use std::time::Instant;
+use wsn_metrics::JsonValue;
+use wsn_sim::{EventQueue, HeapEventQueue, SimRng, SimTime};
+
+/// Offsets (µs ahead of the queue's clock) of the deterministic workload.
+/// A heavy share of ties and sub-day offsets mirrors the simulation's mix:
+/// most traffic lands inside the current period, a few events far out.
+fn offsets(events: usize, seed: u64) -> Vec<u64> {
+    let mut rng = SimRng::seed_from_u64(seed);
+    (0..events)
+        .map(|_| {
+            let draw = rng.gen_range_f64(0.0, 1.0);
+            if draw < 0.05 {
+                // Far future: several wheel revolutions ahead.
+                rng.gen_range_f64(1e6, 5e8) as u64
+            } else if draw < 0.25 {
+                // Exact tie with the current instant (FIFO pressure).
+                0
+            } else {
+                rng.gen_range_f64(0.0, 50_000.0) as u64
+            }
+        })
+        .collect()
+}
+
+/// Drives one queue through the hold model over `offs`, returning the popped
+/// trace. Written as a macro because the two queue types are API twins
+/// without a shared trait (the heap is kept only as a reference).
+macro_rules! drive {
+    ($queue:expr, $offs:expr, $hold:expr) => {{
+        let mut queue = $queue;
+        let offs: &[u64] = $offs;
+        let mut popped: Vec<(SimTime, u64, u32)> = Vec::with_capacity(offs.len());
+        let mut next = 0usize;
+        while popped.len() < offs.len() {
+            if next < offs.len() && queue.len() < $hold {
+                let at = SimTime::from_micros(queue.now().as_micros() + offs[next]);
+                queue.schedule_at(at, next as u32);
+                next += 1;
+                continue;
+            }
+            let ev = queue.pop().expect("pending events remain");
+            popped.push((ev.time, ev.seq, ev.event));
+        }
+        assert!(queue.pop().is_none(), "hold model drains the queue");
+        popped
+    }};
+}
+
+/// Best-of-3 ns per operation (one op = one schedule or one pop) of `f`.
+fn time_ns_per_op(ops: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e9 / ops as f64);
+    }
+    best
+}
+
+/// Calendar vs heap at one hold size, equality-asserted.
+fn compare_at(events: usize, hold: usize, seed: u64) -> JsonValue {
+    let offs = offsets(events, seed);
+    let calendar_trace = drive!(EventQueue::<u32>::new(), &offs, hold);
+    let heap_trace = drive!(HeapEventQueue::<u32>::new(), &offs, hold);
+    assert_eq!(
+        calendar_trace, heap_trace,
+        "calendar queue diverged from the heap reference at hold {hold}"
+    );
+    let ops = events * 2; // every event is scheduled once and popped once
+    let calendar_ns = time_ns_per_op(ops, || {
+        black_box(drive!(EventQueue::<u32>::new(), &offs, hold));
+    });
+    let heap_ns = time_ns_per_op(ops, || {
+        black_box(drive!(HeapEventQueue::<u32>::new(), &offs, hold));
+    });
+    JsonValue::object()
+        .with("hold", hold)
+        .with("events", events)
+        .with("calendar_ns_per_op", round2(calendar_ns))
+        .with("heap_ns_per_op", round2(heap_ns))
+        .with("speedup", round2(heap_ns / calendar_ns.max(1e-9)))
+}
+
+/// The `event_queue` section of the bench document: the hold-model
+/// comparison at a small and a large resident-set size.
+pub fn bench_compare(events: usize, seed: u64) -> JsonValue {
+    let mut entries = Vec::new();
+    for hold in [64usize, 4096] {
+        let hold = hold.min(events.max(1));
+        eprintln!("event queue bench: {events} events at hold {hold}, calendar vs heap");
+        entries.push(compare_at(events, hold, seed));
+    }
+    JsonValue::Array(entries)
+}
+
+fn round2(v: f64) -> f64 {
+    (v * 100.0).round() / 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_agree_and_sections_carry_both_timings() {
+        let doc = bench_compare(2_000, 7);
+        let JsonValue::Array(entries) = doc else {
+            panic!("event queue bench must be an array");
+        };
+        assert_eq!(entries.len(), 2);
+        for entry in &entries {
+            let text = entry.to_string();
+            for field in ["\"hold\"", "\"calendar_ns_per_op\"", "\"heap_ns_per_op\""] {
+                assert!(text.contains(field), "missing {field} in {text}");
+            }
+        }
+    }
+
+    #[test]
+    fn workload_mixes_ties_and_far_future() {
+        let offs = offsets(10_000, 3);
+        assert!(offs.iter().filter(|&&o| o == 0).count() > 1_000);
+        assert!(offs.iter().any(|&o| o > 1_000_000));
+    }
+}

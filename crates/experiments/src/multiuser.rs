@@ -239,23 +239,36 @@ pub fn run_json(config: &ExperimentConfig) -> JsonValue {
 /// sizes and time the shared run against the naive one-tree-per-user run —
 /// asserting, per entry, that they are result-identical per user.
 ///
-/// Timings are a trajectory snapshot (machine-dependent); the tree counts
-/// and per-user aggregates are deterministic.
+/// Timings are a trajectory snapshot (machine-dependent), best-of-3 per
+/// sharing mode — the engine is deterministic, so repeats do identical work
+/// and the minimum is the least-noisy estimate; the tree counts and
+/// per-user aggregates are deterministic.
 pub fn bench_sweep(scenario_for: impl Fn(u64) -> Scenario, users_list: &[usize]) -> JsonValue {
+    fn best_of_3(
+        scenario: &Scenario,
+        users: usize,
+        sharing: TreeSharing,
+    ) -> (MultiUserOutput, f64) {
+        let mut best: Option<(MultiUserOutput, f64)> = None;
+        for _ in 0..3 {
+            let start = Instant::now();
+            let out = MultiSimulation::new(scenario.clone(), users, sharing)
+                .expect("bench scenarios are valid by construction")
+                .run();
+            let elapsed = start.elapsed().as_secs_f64() * 1e3;
+            if best.as_ref().map_or(true, |(_, ms)| elapsed < *ms) {
+                best = Some((out, elapsed));
+            }
+        }
+        best.expect("three timed runs happened")
+    }
+
     let mut entries = Vec::new();
     for (point, &users) in users_list.iter().enumerate() {
         let scenario = scenario_for(point as u64);
         eprintln!("multiuser bench: {users} users, shared vs naive");
-        let start = Instant::now();
-        let shared = MultiSimulation::new(scenario.clone(), users, TreeSharing::Shared)
-            .expect("bench scenarios are valid by construction")
-            .run();
-        let shared_ms = start.elapsed().as_secs_f64() * 1e3;
-        let start = Instant::now();
-        let naive = MultiSimulation::new(scenario.clone(), users, TreeSharing::Naive)
-            .expect("bench scenarios are valid by construction")
-            .run();
-        let naive_ms = start.elapsed().as_secs_f64() * 1e3;
+        let (shared, shared_ms) = best_of_3(&scenario, users, TreeSharing::Shared);
+        let (naive, naive_ms) = best_of_3(&scenario, users, TreeSharing::Naive);
         assert_eq!(
             shared.logs, naive.logs,
             "tree sharing changed per-user results at {users} users in the bench sweep"
@@ -276,6 +289,10 @@ pub fn bench_sweep(scenario_for: impl Fn(u64) -> Scenario, users_list: &[usize])
                 .with("node_wake_seconds_naive", shared.node_wake_seconds_naive)
                 .with("shared_ms", round2(shared_ms))
                 .with("naive_ms", round2(naive_ms))
+                .with(
+                    "events_per_sec",
+                    round2(shared.events_processed as f64 / (shared_ms / 1e3).max(1e-9)),
+                )
                 .with("speedup", round2(naive_ms / shared_ms.max(1e-9))),
         );
     }

@@ -43,16 +43,30 @@ pub fn scale_scenario(nodes: usize, scheme: Scheme, seed: u64) -> Scenario {
 
 /// Wall-clock of one scheme at one scale: build and run split out — with the
 /// setup side broken down into its phases — plus the event count as a sanity
-/// anchor that the run actually did protocol work.
+/// anchor that the run actually did protocol work. The run phase is
+/// best-of-3 (the event loop is deterministic, so repeats do identical work
+/// and the minimum is the least-noisy estimate — same discipline as the
+/// lookup micro-comparison below); setup is timed once, its regression
+/// bound has order-of-magnitude headroom.
 fn timed_run(nodes: usize, scheme: Scheme, seed: u64) -> JsonValue {
     let scenario = scale_scenario(nodes, scheme, seed);
     let start = Instant::now();
-    let sim = Simulation::new(scenario).expect("scale scenarios are valid by construction");
+    let sim = Simulation::new(scenario.clone()).expect("scale scenarios are valid by construction");
     let setup_ms = start.elapsed().as_secs_f64() * 1e3;
     let phases = sim.setup_breakdown();
     let start = Instant::now();
-    let out = sim.run();
-    let run_ms = start.elapsed().as_secs_f64() * 1e3;
+    let mut out = sim.run();
+    let mut run_ms = start.elapsed().as_secs_f64() * 1e3;
+    for _ in 0..2 {
+        let sim = Simulation::new(scenario.clone()).expect("scenario validated above");
+        let start = Instant::now();
+        let repeat = sim.run();
+        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        if elapsed < run_ms {
+            run_ms = elapsed;
+            out = repeat;
+        }
+    }
     JsonValue::object()
         .with("setup_ms", round2(setup_ms))
         .with(
@@ -64,6 +78,10 @@ fn timed_run(nodes: usize, scheme: Scheme, seed: u64) -> JsonValue {
         )
         .with("run_ms", round2(run_ms))
         .with("events", out.events_processed)
+        .with(
+            "events_per_sec",
+            round2(out.events_processed as f64 / (run_ms / 1e3).max(1e-9)),
+        )
         .with("trees_built", out.trees_built)
         .with("backbone", out.backbone_count)
 }

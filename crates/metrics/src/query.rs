@@ -79,6 +79,13 @@ impl QueryLog {
         self.records.push(record);
     }
 
+    /// Reserves room for `additional` more records. Engines that know a
+    /// user's whole query window up front call this once at admission so the
+    /// per-period `push` never reallocates in the steady state.
+    pub fn reserve(&mut self, additional: usize) {
+        self.records.reserve(additional);
+    }
+
     /// All records, in insertion order.
     pub fn records(&self) -> &[QueryRecord] {
         &self.records

@@ -152,6 +152,8 @@ pub struct LoadOutcome {
 ///
 /// The scenario's duration is overridden to exactly `duration_periods`
 /// periods; its seed drives both the deployment and the arrival schedule.
+/// `jobs` shards each boundary's resolution across pool workers
+/// ([`ServiceSim::with_jobs`]); the outcome is byte-identical for any value.
 ///
 /// # Errors
 ///
@@ -162,6 +164,7 @@ pub fn run_load(
     qps: f64,
     duration_periods: u64,
     sharing: TreeSharing,
+    jobs: usize,
 ) -> Result<LoadOutcome, ServiceError> {
     if !(qps.is_finite() && qps > 0.0) {
         return Err(ConfigError::new("load qps must be positive and finite").into());
@@ -173,7 +176,7 @@ pub fn run_load(
     let scenario = scenario.with_duration_secs(duration_periods as f64 * period_s);
     let arrivals = arrival_schedule(scenario.seed, qps, duration_periods, period_s);
 
-    let mut svc = ServiceSim::new(scenario.clone(), sharing)?;
+    let mut svc = ServiceSim::new(scenario.clone(), sharing)?.with_jobs(jobs);
     let mut pending = arrivals.iter().copied().peekable();
     let mut admitted: Vec<Arrival> = Vec::new();
     let mut rejected = 0u64;
@@ -279,7 +282,7 @@ mod tests {
 
     #[test]
     fn load_run_reports_latency_and_success() {
-        let outcome = run_load(small_scenario(42), 1.0, 10, TreeSharing::Shared).unwrap();
+        let outcome = run_load(small_scenario(42), 1.0, 10, TreeSharing::Shared, 1).unwrap();
         let r = &outcome.report;
         assert_eq!(
             r.submitted + r.rejected,
@@ -301,8 +304,8 @@ mod tests {
 
     #[test]
     fn load_run_is_deterministic() {
-        let a = run_load(small_scenario(7), 2.0, 12, TreeSharing::Shared).unwrap();
-        let b = run_load(small_scenario(7), 2.0, 12, TreeSharing::Shared).unwrap();
+        let a = run_load(small_scenario(7), 2.0, 12, TreeSharing::Shared, 1).unwrap();
+        let b = run_load(small_scenario(7), 2.0, 12, TreeSharing::Shared, 4).unwrap();
         assert_eq!(a, b);
         assert_eq!(
             a.report.to_json().to_pretty_string(),
@@ -312,8 +315,8 @@ mod tests {
 
     #[test]
     fn invalid_load_parameters_are_rejected() {
-        assert!(run_load(small_scenario(1), 0.0, 10, TreeSharing::Shared).is_err());
-        assert!(run_load(small_scenario(1), f64::NAN, 10, TreeSharing::Shared).is_err());
-        assert!(run_load(small_scenario(1), 1.0, 0, TreeSharing::Shared).is_err());
+        assert!(run_load(small_scenario(1), 0.0, 10, TreeSharing::Shared, 1).is_err());
+        assert!(run_load(small_scenario(1), f64::NAN, 10, TreeSharing::Shared, 1).is_err());
+        assert!(run_load(small_scenario(1), 1.0, 0, TreeSharing::Shared, 1).is_err());
     }
 }

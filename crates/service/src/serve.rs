@@ -63,6 +63,8 @@ impl ServeReport {
 /// deployment, polling after every boundary.
 ///
 /// The scenario's duration is overridden to exactly `periods` periods.
+/// `jobs` shards each boundary's resolution across pool workers
+/// ([`ServiceSim::with_jobs`]); the report is byte-identical for any value.
 ///
 /// # Errors
 ///
@@ -71,13 +73,14 @@ pub fn run_serve(
     scenario: Scenario,
     periods: u64,
     sharing: TreeSharing,
+    jobs: usize,
 ) -> Result<ServeReport, ServiceError> {
     if periods == 0 {
         return Err(ConfigError::new("serve needs at least one period").into());
     }
     let period_s = scenario.query.period.as_secs_f64();
     let scenario = scenario.with_duration_secs(periods as f64 * period_s);
-    let mut svc = ServiceSim::new(scenario.clone(), sharing)?;
+    let mut svc = ServiceSim::new(scenario.clone(), sharing)?.with_jobs(jobs);
     let id = svc.submit(&scenario.query)?;
     let mut results = Vec::with_capacity(periods as usize);
     while !svc.is_finished() {
@@ -115,7 +118,7 @@ mod tests {
 
     #[test]
     fn serve_streams_one_result_per_period() {
-        let report = run_serve(small_scenario(42), 12, TreeSharing::Shared).unwrap();
+        let report = run_serve(small_scenario(42), 12, TreeSharing::Shared, 1).unwrap();
         assert_eq!(report.results.len(), 12);
         for (i, r) in report.results.iter().enumerate() {
             assert_eq!(r.period, i as u64 + 1, "periods stream in order");
@@ -132,7 +135,7 @@ mod tests {
         use mobiquery::sim::MultiSimulation;
         let periods = 10u64;
         let scenario = small_scenario(9).with_duration_secs(2.0 * periods as f64);
-        let report = run_serve(scenario.clone(), periods, TreeSharing::Shared).unwrap();
+        let report = run_serve(scenario.clone(), periods, TreeSharing::Shared, 1).unwrap();
         let batch = MultiSimulation::new(scenario, 1, TreeSharing::Shared)
             .unwrap()
             .run();
@@ -146,9 +149,9 @@ mod tests {
     }
 
     #[test]
-    fn serve_is_deterministic() {
-        let a = run_serve(small_scenario(3), 8, TreeSharing::Shared).unwrap();
-        let b = run_serve(small_scenario(3), 8, TreeSharing::Shared).unwrap();
+    fn serve_is_deterministic_across_jobs() {
+        let a = run_serve(small_scenario(3), 8, TreeSharing::Shared, 1).unwrap();
+        let b = run_serve(small_scenario(3), 8, TreeSharing::Shared, 4).unwrap();
         assert_eq!(a, b);
         assert_eq!(
             a.to_json().to_pretty_string(),
@@ -158,6 +161,6 @@ mod tests {
 
     #[test]
     fn zero_periods_is_rejected() {
-        assert!(run_serve(small_scenario(1), 0, TreeSharing::Shared).is_err());
+        assert!(run_serve(small_scenario(1), 0, TreeSharing::Shared, 1).is_err());
     }
 }

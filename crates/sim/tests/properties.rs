@@ -1,7 +1,7 @@
 //! Property-based tests for the discrete-event engine.
 
 use proptest::prelude::*;
-use wsn_sim::{Duration, Engine, EventQueue, SimRng, SimTime, World};
+use wsn_sim::{Duration, Engine, EventQueue, HeapEventQueue, SimRng, SimTime, World};
 
 /// A world that records the times of every event it sees.
 #[derive(Debug, Default)]
@@ -70,6 +70,62 @@ proptest! {
         engine.run_to_completion();
         prop_assert_eq!(engine.world().times.len(), times.len());
         prop_assert!(engine.world().times.len() >= before);
+    }
+
+    /// The calendar queue pops in exactly the order of the retired
+    /// `BinaryHeap` reference across random interleavings of schedules and
+    /// pops — including heavy ties (FIFO stability), far-future outliers
+    /// (more than a wheel revolution ahead) and past times that clamp to now.
+    #[test]
+    fn calendar_queue_matches_heap_reference(ops in proptest::collection::vec(any::<u64>(), 1..400)) {
+        let mut cal: EventQueue<u64> = EventQueue::new();
+        let mut heap: HeapEventQueue<u64> = HeapEventQueue::new();
+        for (i, &op) in ops.iter().enumerate() {
+            match op % 5 {
+                // Dense band: lots of collisions within a few wheel days.
+                0 | 1 => {
+                    let t = SimTime::from_micros((op >> 3) % 100_000);
+                    cal.schedule_at(t, i as u64);
+                    heap.schedule_at(t, i as u64);
+                }
+                // Exact tie at a fixed instant: FIFO order must hold.
+                2 => {
+                    let t = SimTime::from_secs(7);
+                    cal.schedule_at(t, i as u64);
+                    heap.schedule_at(t, i as u64);
+                }
+                // Far future: beyond one revolution of the initial wheel.
+                3 => {
+                    let t = SimTime::from_secs(1_000 + (op >> 3) % 1_000_000_000);
+                    cal.schedule_at(t, i as u64);
+                    heap.schedule_at(t, i as u64);
+                }
+                // Pop: both queues must agree on the event and the clock.
+                _ => {
+                    match (cal.pop(), heap.pop()) {
+                        (None, None) => {}
+                        (Some(a), Some(b)) => {
+                            prop_assert_eq!((a.time, a.seq, a.event), (b.time, b.seq, b.event));
+                        }
+                        (a, b) => prop_assert!(false, "queues diverged: {:?} vs {:?}", a, b),
+                    }
+                    prop_assert_eq!(cal.now(), heap.now());
+                }
+            }
+            prop_assert_eq!(cal.peek_time(), heap.peek_time());
+            prop_assert_eq!(cal.len(), heap.len());
+        }
+        // Drain both: the tails must be identical too.
+        loop {
+            match (cal.pop(), heap.pop()) {
+                (None, None) => break,
+                (Some(a), Some(b)) => {
+                    prop_assert_eq!((a.time, a.seq, a.event), (b.time, b.seq, b.event));
+                }
+                (a, b) => prop_assert!(false, "queues diverged while draining: {:?} vs {:?}", a, b),
+            }
+        }
+        prop_assert_eq!(cal.scheduled_total(), heap.scheduled_total());
     }
 
     /// The RNG produces identical streams for identical seeds and stays in range.

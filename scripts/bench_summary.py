@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Render a mobiquery-repro/bench/v6 document as GitHub-flavored markdown.
+"""Render a mobiquery-repro/bench/v7 document as GitHub-flavored markdown.
 
 Used by .github/workflows/ci.yml to append both the fresh bench run and the
 committed BENCH_repro.json trajectory to $GITHUB_STEP_SUMMARY:
@@ -40,6 +40,28 @@ def figures_table(doc):
     return table(["target", "serial ms", "parallel ms", "speedup"], rows)
 
 
+def event_queue_table(doc):
+    rows = [
+        [
+            e["hold"],
+            e["events"],
+            e["calendar_ns_per_op"],
+            e["heap_ns_per_op"],
+            e["speedup"],
+        ]
+        for e in doc.get("event_queue", [])
+    ]
+    body = table(
+        ["hold", "events", "calendar ns/op", "heap ns/op", "speedup"], rows
+    )
+    if body and "steady_allocs_per_period" in doc:
+        body += (
+            f"\nSteady-state heap allocations per period: "
+            f"**{doc['steady_allocs_per_period']}**\n"
+        )
+    return body
+
+
 def scale_table(doc):
     rows = []
     for e in doc.get("scale", []):
@@ -50,12 +72,21 @@ def scale_table(doc):
                 jit["setup_ms"],
                 jit["setup"]["ccp_ms"],
                 jit["run_ms"],
+                f"{jit.get('events_per_sec', 0) / 1e6:.2f}M",
                 np["run_ms"],
                 e["nearest_backbone"]["speedup"],
             ]
         )
     return table(
-        ["nodes", "jit setup ms", "ccp ms", "jit run ms", "np run ms", "grid speedup"],
+        [
+            "nodes",
+            "jit setup ms",
+            "ccp ms",
+            "jit run ms",
+            "events/s",
+            "np run ms",
+            "grid speedup",
+        ],
         rows,
     )
 
@@ -68,11 +99,21 @@ def multiuser_table(doc):
             e["trees_built_naive"],
             e["sharing_ratio"],
             f"{e['mean_success_ratio']:.3f}",
+            e.get("shared_ms", "-"),
+            e.get("events_per_sec", "-"),
         ]
         for e in doc.get("multiuser", [])
     ]
     return table(
-        ["users", "trees shared", "trees naive", "sharing ratio", "mean success"],
+        [
+            "users",
+            "trees shared",
+            "trees naive",
+            "sharing ratio",
+            "mean success",
+            "serial ms",
+            "resolves/s",
+        ],
         rows,
     )
 
@@ -135,6 +176,7 @@ def render(title, doc):
         f"{doc.get('host_cores', '?')} host cores, "
         f"{doc.get('parallel_jobs', '?')} parallel jobs\n",
         section("Per-target serial vs parallel", figures_table(doc)),
+        section("Event loop: calendar queue vs heap", event_queue_table(doc)),
         section("Scale sweep", scale_table(doc)),
         section("Multi-user tree economy", multiuser_table(doc)),
         section("Churn: incremental repair vs full re-election", churn_table(doc)),

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Sanity-check a mobiquery-repro/bench/v6 document.
+"""Sanity-check a mobiquery-repro/bench/v7 document.
 
 Shared by ci.sh and .github/workflows/ci.yml so the schema contract and the
 committed baseline figures live in exactly one place. Asserts:
@@ -18,11 +18,18 @@ committed baseline figures live in exactly one place. Asserts:
 * the service section (v5): the fixed reference load served by the
   stepped engine, with success ratios in [0, 1] and p50 <= p99 <= max
   latency;
-* the churn section (new in v6): per-rate incremental-repair entries with
+* the churn section (v6): per-rate incremental-repair entries with
   every batch verified against a full re-election at verifiable scales,
   and — at large deployments under light churn, where repair is the whole
   point — a mean per-batch repair cost at least REPAIR_ADVANTAGE times
-  below one full election.
+  below one full election;
+* the event-loop section (new in v7): the calendar-queue-vs-heap hold
+  model with both timings positive, `steady_allocs_per_period` exactly
+  zero (the counting-allocator figure the zero_alloc test enforces), the
+  `events_per_sec` throughput fields, and — when a document carries the
+  full committed sweep (250-user fleet / 20k-node entry) — the multiuser
+  serial hot loop and the 20k run no slower than the last bench/v6
+  snapshot's committed values.
 
 Unit-tested by scripts/test_check_bench.py (python3 -m unittest, run in the
 CI lint job).
@@ -53,6 +60,16 @@ REPAIR_ADVANTAGE_MAX_RATE = 0.002
 # Deployments at or below this size verify EVERY batch in-engine (mirrors
 # VERIFY_MAX_NODES in crates/experiments/src/churn.rs).
 VERIFY_MAX_NODES = 200_000
+
+# Event-loop trajectory: the last bench/v6 snapshot's committed values for
+# the multiuser serial hot loop (250-user fleet, shared cache) and the
+# 20k-node single-user run. A v7 document carrying those entries must beat
+# them — the event-loop PR's whole point. Only the committed snapshot
+# carries them (the fresh CI smoke run sweeps a smaller grid), so these
+# bounds compare one committed artifact against another, not a live run
+# against a fixed wall clock.
+V6_MULTIUSER_250_SHARED_MS = 859.1
+V6_SCALE_20K_RUN_MS = 4.84
 
 CHURN_FIELDS = (
     "nodes",
@@ -89,7 +106,8 @@ def check_scale(doc):
     for entry in doc["scale"]:
         nodes = entry["nodes"]
         for scheme in ("jit", "np"):
-            setup = entry[scheme]["setup"]
+            run = entry[scheme]
+            setup = run["setup"]
             for field in ("neighbor_ms", "ccp_ms", "plan_ms"):
                 assert field in setup, f"{nodes}/{scheme}: missing setup.{field}"
             bound = OLD_WHOLE_SETUP_MS.get(nodes)
@@ -97,6 +115,14 @@ def check_scale(doc):
                 assert setup["ccp_ms"] <= bound, (
                     f"{nodes}/{scheme}: ccp_ms {setup['ccp_ms']} exceeds the "
                     f"pre-raster whole-setup figure {bound} ms"
+                )
+            assert run.get("events_per_sec", 0) > 0, (
+                f"{nodes}/{scheme}: events_per_sec missing or non-positive"
+            )
+            if nodes == 20_000:
+                assert run["run_ms"] < V6_SCALE_20K_RUN_MS, (
+                    f"{nodes}/{scheme}: run_ms {run['run_ms']} regressed past "
+                    f"the committed bench/v6 value {V6_SCALE_20K_RUN_MS} ms"
                 )
 
 
@@ -116,6 +142,15 @@ def check_multiuser(doc):
             entry["trees_built_shared"] <= entry["trees_built_naive"]
         ), f"multiuser/{users}: shared cache built MORE trees than naive"
         assert 0.0 <= entry["min_success_ratio"] <= entry["mean_success_ratio"] <= 1.0
+        assert entry.get("events_per_sec", 0) > 0, (
+            f"multiuser/{users}: events_per_sec missing or non-positive"
+        )
+        if users >= 250:
+            assert entry["shared_ms"] < V6_MULTIUSER_250_SHARED_MS, (
+                f"multiuser/{users}: serial hot loop {entry['shared_ms']} ms "
+                f"regressed past the committed bench/v6 value "
+                f"{V6_MULTIUSER_250_SHARED_MS} ms"
+            )
     # The 100+-fleet sharing assertion only applies when the --users ceiling
     # allows such a fleet in the ladder at all (`--bench --users 8` now
     # honestly simulates at most 8 users).
@@ -194,10 +229,34 @@ def check_service(doc):
     assert service["trees_built"] <= service["installs"]
 
 
+def check_event_loop(doc):
+    entries = doc.get("event_queue")
+    assert entries, "the event_queue hold-model comparison is missing"
+    for entry in entries:
+        hold = entry.get("hold", 0)
+        label = f"event_queue/hold={hold}"
+        assert hold >= 1, f"{label}: malformed hold size"
+        assert entry.get("events", 0) >= 1, f"{label}: no events driven"
+        # The traces are equality-asserted in-process before timing, so the
+        # document only needs both timings to exist and be sane.
+        assert entry.get("calendar_ns_per_op", 0) > 0, (
+            f"{label}: calendar timing missing or non-positive"
+        )
+        assert entry.get("heap_ns_per_op", 0) > 0, (
+            f"{label}: heap reference timing missing or non-positive"
+        )
+    allocs = doc.get("steady_allocs_per_period")
+    assert allocs == 0, (
+        f"steady state allocated {allocs} times per period; the warm loop "
+        f"must allocate exactly zero"
+    )
+
+
 def check_doc(doc):
-    assert doc["schema"] == "mobiquery-repro/bench/v6", doc["schema"]
+    assert doc["schema"] == "mobiquery-repro/bench/v7", doc["schema"]
     assert doc.get("host_cores", 0) >= 1, "host_cores missing from bench header"
     assert doc.get("users", 0) >= 1, "users missing from bench header"
+    check_event_loop(doc)
     check_scale(doc)
     check_multiuser(doc)
     check_churn(doc)
@@ -209,8 +268,8 @@ def main(path):
         doc = json.load(f)
     check_doc(doc)
     print(
-        "bench/v6 setup breakdown + multiuser tree economy + churn repair + "
-        "service load OK"
+        "bench/v7 setup breakdown + event loop + multiuser tree economy + "
+        "churn repair + service load OK"
     )
 
 

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Unit tests for check_bench.py, the bench/v6 schema gate.
+"""Unit tests for check_bench.py, the bench/v7 schema gate.
 
 Run from the repository root (the CI lint job does exactly this):
 
@@ -18,14 +18,32 @@ import check_bench
 def valid_doc():
     """The smallest document every check in check_bench.py accepts."""
     return {
-        "schema": "mobiquery-repro/bench/v6",
+        "schema": "mobiquery-repro/bench/v7",
         "host_cores": 4,
         "users": 8,
+        "event_queue": [
+            {
+                "hold": 64,
+                "events": 20000,
+                "calendar_ns_per_op": 12.0,
+                "heap_ns_per_op": 22.0,
+                "speedup": 1.83,
+            }
+        ],
+        "steady_allocs_per_period": 0,
         "scale": [
             {
                 "nodes": 1000,
-                "jit": {"setup": {"neighbor_ms": 1.0, "ccp_ms": 2.0, "plan_ms": 0.1}},
-                "np": {"setup": {"neighbor_ms": 1.0, "ccp_ms": 2.0, "plan_ms": 0.1}},
+                "jit": {
+                    "setup": {"neighbor_ms": 1.0, "ccp_ms": 2.0, "plan_ms": 0.1},
+                    "run_ms": 2.0,
+                    "events_per_sec": 2.5e6,
+                },
+                "np": {
+                    "setup": {"neighbor_ms": 1.0, "ccp_ms": 2.0, "plan_ms": 0.1},
+                    "run_ms": 2.0,
+                    "events_per_sec": 2.5e6,
+                },
             }
         ],
         "multiuser": [
@@ -40,6 +58,8 @@ def valid_doc():
                 "mean_fidelity": 0.95,
                 "node_wake_seconds_shared": 10.0,
                 "node_wake_seconds_naive": 12.0,
+                "shared_ms": 100.0,
+                "events_per_sec": 5000.0,
             }
         ],
         "churn": [
@@ -99,7 +119,7 @@ class CheckDocTest(unittest.TestCase):
 
     def test_wrong_schema_rejected(self):
         self.assert_rejected(
-            lambda d: d.update(schema="mobiquery-repro/bench/v5"), "v5"
+            lambda d: d.update(schema="mobiquery-repro/bench/v6"), "v6"
         )
 
     def test_missing_header_fields_rejected(self):
@@ -107,7 +127,82 @@ class CheckDocTest(unittest.TestCase):
         self.assert_rejected(lambda d: d.update(users=0), "users")
 
 
+class CheckEventLoopTest(CheckDocTest):
+    def test_missing_event_queue_section_rejected(self):
+        self.assert_rejected(lambda d: d.pop("event_queue"), "event_queue")
+        self.assert_rejected(lambda d: d.update(event_queue=[]), "event_queue")
+
+    def test_missing_scheduler_timings_rejected(self):
+        self.assert_rejected(
+            lambda d: d["event_queue"][0].pop("calendar_ns_per_op"), "calendar"
+        )
+        self.assert_rejected(
+            lambda d: d["event_queue"][0].update(heap_ns_per_op=0.0), "heap"
+        )
+
+    def test_nonzero_steady_allocations_rejected(self):
+        # The whole point of the zero-alloc PR: "small" is not zero.
+        self.assert_rejected(
+            lambda d: d.update(steady_allocs_per_period=1), "allocated 1"
+        )
+        self.assert_rejected(
+            lambda d: d.pop("steady_allocs_per_period"), "allocated"
+        )
+
+
 class CheckScaleTest(CheckDocTest):
+    def test_missing_events_per_sec_rejected(self):
+        self.assert_rejected(
+            lambda d: d["scale"][0]["jit"].pop("events_per_sec"), "events_per_sec"
+        )
+        self.assert_rejected(
+            lambda d: d["multiuser"][0].update(events_per_sec=0.0),
+            "events_per_sec",
+        )
+
+    def test_20k_run_regression_rejected(self):
+        # A committed sweep carrying the 20k entry must beat the bench/v6
+        # run_ms; other sizes carry no event-loop bound.
+        self.assert_rejected(
+            lambda d: (
+                d["scale"][0].update(nodes=20000),
+                d["scale"][0]["jit"].update(run_ms=6.0),
+            ),
+            "regressed past the committed bench/v6",
+        )
+        ok = self.mutated(
+            lambda d: (
+                d["scale"][0].update(nodes=20000),
+                d["scale"][0]["jit"].update(run_ms=4.0),
+                d["scale"][0]["np"].update(run_ms=4.5),
+            )
+        )
+        check_bench.check_doc(ok)
+
+    def test_multiuser_serial_regression_rejected(self):
+        # shared_ms 100.0 at 4 users is unbounded; at 250+ it races the
+        # committed bench/v6 serial hot loop.
+        self.assert_rejected(
+            lambda d: d["multiuser"][0].update(
+                users=250,
+                installs=2500,
+                trees_built_naive=2500,
+                trees_built_shared=249,
+                shared_ms=2000.0,
+            ),
+            "regressed past the committed bench/v6",
+        )
+        ok = self.mutated(
+            lambda d: d["multiuser"][0].update(
+                users=250,
+                installs=2500,
+                trees_built_naive=2500,
+                trees_built_shared=249,
+                shared_ms=700.0,
+            )
+        )
+        check_bench.check_doc(ok)
+
     def test_missing_setup_phase_rejected(self):
         self.assert_rejected(
             lambda d: d["scale"][0]["jit"]["setup"].pop("ccp_ms"), "ccp_ms"

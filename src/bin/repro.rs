@@ -11,15 +11,23 @@
 //! output is byte-identical whatever the job count — CI diffs `--jobs 1`
 //! against `--jobs 4` to enforce exactly that.
 
+// The bench document's `steady_allocs_per_period` needs a counting global
+// allocator, and `GlobalAlloc` is an unsafe trait; this binary is its own
+// crate root, so the allow is scoped to exactly this file.
+#![allow(unsafe_code)]
+
 use mobiquery::config::Scheme;
 use mobiquery::sim::TreeSharing;
 use mobiquery_experiments::runner::trial_seed;
 use mobiquery_experiments::{
-    analysis_tables, churn, fig4, fig5, fig6, fig7, fig8, multiuser, scale, ExperimentConfig,
+    analysis_tables, churn, eventq, fig4, fig5, fig6, fig7, fig8, multiuser, scale,
+    ExperimentConfig,
 };
 use mobiquery_service::load::run_load;
 use mobiquery_service::serve::run_serve;
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 use wsn_metrics::JsonValue;
 use wsn_sim::pool;
@@ -85,8 +93,9 @@ Service options:
                      the quick/full base scenario, e.g. --nodes 1000)
   --naive            one tree per query instead of shared flood trees
   --quick            use the quick base scenario and seed
-  --jobs N           accepted for CI symmetry; the service is single-threaded
-                     and its output is byte-identical for every N
+  --jobs N           shard each boundary's query resolution across N pool
+                     workers inside the engine; output is byte-identical for
+                     every N (CI diffs --jobs 1 against --jobs 4)
   --out PATH         write the JSON to PATH instead of stdout
   -h, --help         print this help and exit";
 
@@ -123,6 +132,63 @@ const BENCH_CHURN_RATES: [f64; 3] = [0.001, 0.01, 0.05];
 /// measures repair, not the multi-user economics the multiuser section owns).
 const BENCH_CHURN_USERS: usize = 4;
 
+/// Counts heap allocations so the bench document can prove the stepped
+/// engine's warm loop is allocation-free (the `steady_allocs_per_period`
+/// field, asserted `== 0` by `scripts/check_bench.py`). Counting is a single
+/// relaxed atomic increment over the system allocator — noise-level overhead
+/// for every other mode of the binary.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: every method forwards verbatim to `System`, which upholds the
+// `GlobalAlloc` contract; the only addition is a relaxed counter increment,
+// which cannot affect allocation behaviour.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `layout` is forwarded unchanged to the system allocator.
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` was allocated by `System` with this `layout`.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `ptr`/`layout`/`new_size` are forwarded unchanged.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocations per warm period boundary of the steady-state probe
+/// ([`mobiquery_repro::steady`]): steps every measurable warm boundary and
+/// returns the *maximum* per-boundary allocation count — the number the
+/// committed trajectory pins at exactly zero.
+fn steady_allocs_per_period() -> u64 {
+    let mut sim = mobiquery_repro::steady::warmed_sim(24, 4, 11);
+    let mut worst = 0u64;
+    while sim.next_boundary() + 2 <= sim.max_k() {
+        let before = ALLOCS.load(Ordering::Relaxed);
+        sim.step_period()
+            .expect("the steady probe steps cleanly by construction");
+        worst = worst.max(ALLOCS.load(Ordering::Relaxed) - before);
+    }
+    sim.run_to_end()
+        .expect("the steady probe steps cleanly by construction");
+    let out = sim.finish();
+    assert!(
+        out.logs.iter().all(|log| log.len() == 24),
+        "the steady probe must resolve every period"
+    );
+    worst
+}
+
 fn bad_usage() -> ExitCode {
     eprintln!("{USAGE}");
     ExitCode::FAILURE
@@ -141,6 +207,7 @@ fn service_main(kind: &str, mut args: impl Iterator<Item = String>) -> ExitCode 
     let mut nodes: Option<usize> = None;
     let mut sharing = TreeSharing::Shared;
     let mut quick = false;
+    let mut jobs: usize = 1;
     let mut out_path: Option<String> = None;
 
     while let Some(arg) = args.next() {
@@ -163,10 +230,8 @@ fn service_main(kind: &str, mut args: impl Iterator<Item = String>) -> ExitCode 
             },
             "--naive" => sharing = TreeSharing::Naive,
             "--quick" => quick = true,
-            // The service is single-threaded; --jobs is accepted so CI can
-            // diff `--jobs 1` against `--jobs 4` byte for byte.
             "--jobs" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
-                Some(n) if n >= 1 => {}
+                Some(n) if n >= 1 => jobs = n,
                 _ => return bad_service_usage(),
             },
             "--out" => match args.next() {
@@ -199,7 +264,7 @@ fn service_main(kind: &str, mut args: impl Iterator<Item = String>) -> ExitCode 
                 eprintln!("repro serve: --periods is required\n");
                 return bad_service_usage();
             };
-            match run_serve(scenario, periods, sharing) {
+            match run_serve(scenario, periods, sharing, jobs) {
                 Ok(report) => report.to_json(),
                 Err(e) => {
                     eprintln!("repro serve: {e}");
@@ -212,7 +277,7 @@ fn service_main(kind: &str, mut args: impl Iterator<Item = String>) -> ExitCode 
                 eprintln!("repro load: --qps and --duration are required\n");
                 return bad_service_usage();
             };
-            match run_load(scenario, qps, duration, sharing) {
+            match run_load(scenario, qps, duration, sharing, jobs) {
                 Ok(outcome) => outcome.report.to_json(),
                 Err(e) => {
                     eprintln!("repro load: {e}");
@@ -396,20 +461,29 @@ fn bench_json(
             config.base_seed,
         ),
     };
+    // The scheduler micro-comparison and the zero-alloc proof are
+    // scale-independent fixtures, sized down in quick mode only to keep the
+    // smoke fast; the committed (full) trajectory uses the fixed sizes.
+    let event_queue = eventq::bench_compare(
+        if config.quick { 20_000 } else { 200_000 },
+        config.base_seed,
+    );
+    let steady_allocs = steady_allocs_per_period();
+    eprintln!("steady state: {steady_allocs} allocations per warm period");
     // The fixed reference load of the bench trajectory: 4 queries/s for 40
     // periods against a 1000-node deployment, through the stepped service
     // engine. Scale-independent of --scale so the committed numbers stay
     // comparable across bench invocations.
     let service = {
         let scenario = scale::scale_scenario(1000, Scheme::JustInTime, config.base_seed);
-        run_load(scenario, 4.0, 40, TreeSharing::Shared)
+        run_load(scenario, 4.0, 40, TreeSharing::Shared, 1)
             .expect("the reference service load must run")
             .report
             .to_json()
     };
     Some(
         JsonValue::object()
-            .with("schema", "mobiquery-repro/bench/v6")
+            .with("schema", "mobiquery-repro/bench/v7")
             .with("mode", if config.quick { "quick" } else { "full" })
             .with("runs", config.runs)
             .with("users", config.users)
@@ -419,6 +493,8 @@ fn bench_json(
             .with("host_cores", pool::available_jobs())
             .with("parallel_jobs", config.jobs)
             .with("figures", figures)
+            .with("event_queue", event_queue)
+            .with("steady_allocs_per_period", steady_allocs)
             .with("scale", scale)
             .with("multiuser", multiuser)
             .with("churn", churn_section)

@@ -32,6 +32,7 @@
 
 pub use mobiquery;
 pub use mobiquery_experiments as experiments;
+pub mod steady;
 pub use mobiquery_service as service;
 pub use wsn_geom as geom;
 pub use wsn_metrics as metrics;

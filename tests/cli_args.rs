@@ -59,6 +59,24 @@ fn zero_users_is_a_usage_error() {
 }
 
 #[test]
+fn malformed_jobs_are_usage_errors() {
+    // --jobs shards query resolution *inside* the engine as well as fanning
+    // out across trials, so a nonsense worker count must die at argv: zero
+    // workers is not a serial run, it is a typo.
+    assert_usage_failure(&["--jobs", "0", "fig4"]);
+    assert_usage_failure(&["--jobs", "-1", "fig4"]);
+    assert_usage_failure(&["--jobs", "many", "fig4"]);
+    assert_usage_failure(&["--jobs", "1.5", "fig4"]);
+    assert_usage_failure(&["--jobs"]);
+    // The service subcommands accept the same flag with the same contract.
+    assert_usage_failure(&["serve", "--periods", "5", "--jobs", "0"]);
+    assert_usage_failure(&["serve", "--periods", "5", "--jobs", "-4"]);
+    assert_usage_failure(&["serve", "--periods", "5", "--jobs", "abc"]);
+    assert_usage_failure(&["load", "--qps", "4", "--duration", "10", "--jobs", "0"]);
+    assert_usage_failure(&["load", "--qps", "4", "--duration", "10", "--jobs"]);
+}
+
+#[test]
 fn malformed_scale_lists_are_usage_errors() {
     assert_usage_failure(&["--bench", "/dev/null", "--scale", "", "fig4"]);
     assert_usage_failure(&["--bench", "/dev/null", "--scale", "1000,,2000", "fig4"]);
