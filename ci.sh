@@ -69,6 +69,18 @@ run cargo run --release -q --bin repro -- --quick --scale 20000 \
     --churn-rate 0.05 --format json --jobs 4 --out target/churn-jobs4.json churn
 run cmp target/churn-jobs1.json target/churn-jobs4.json
 
+# Chaos gate: the fault schedule (bursty loss, crashes) and every recovery
+# decision (retries, backoff, tree rebuilds) must be pure functions of the
+# seed — the faulted sweep's JSON is byte-identical whatever the worker
+# count, and tests/golden/resilience_quick.json pins the same bytes against
+# the committed snapshot.
+run cargo run --release -q --bin repro -- --quick --scale 2000 \
+    --fault-loss 0.2 --format json --jobs 1 --out target/resilience-jobs1.json resilience
+run cargo run --release -q --bin repro -- --quick --scale 2000 \
+    --fault-loss 0.2 --format json --jobs 4 --out target/resilience-jobs4.json resilience
+run cmp target/resilience-jobs1.json target/resilience-jobs4.json
+run cmp target/resilience-jobs1.json tests/golden/resilience_quick.json
+
 # Service smoke: the long-lived query path must share the same determinism
 # contract as the batch runs — a fixed seed yields byte-identical JSON
 # whatever the worker count. --jobs N now shards each boundary's query
@@ -96,17 +108,19 @@ run cmp target/load-jobs1.json target/load-jobs4.json
 run cargo run --release -q --bin repro -- --quick --users 100 \
     --bench target/BENCH_repro.json --scale 1000,2000 all
 
-# bench/v7 sanity: schema, host metadata, per-phase setup breakdown, the
+# bench/v8 sanity: schema, host metadata, per-phase setup breakdown, the
 # raster-election regression bound, the event-loop section (calendar-vs-
 # heap hold model, events/sec throughput, steady_allocs_per_period == 0,
 # and on the committed full sweep the multiuser serial hot loop and 20k
 # run beating the bench/v6 snapshot), the multi-user tree economy (shared
 # cache strictly beating one-tree-per-user at 100+ user fleets), the churn
 # section (incremental repair beating full re-election at scale under
-# light churn) and the service load section, enforced by the script shared
-# with the hosted workflow — on both the fresh run and the committed
-# snapshot. The markdown renderer the workflow feeds $GITHUB_STEP_SUMMARY
-# with must keep accepting both documents too.
+# light churn), the service load section and the resilience ladder
+# (recovery-on strictly beating recovery-off on mean delivery at every
+# nonzero loss), enforced by the script shared with the hosted workflow —
+# on both the fresh run and the committed snapshot. The markdown renderer
+# the workflow feeds $GITHUB_STEP_SUMMARY with must keep accepting both
+# documents too.
 run python3 scripts/check_bench.py target/BENCH_repro.json
 run python3 scripts/check_bench.py BENCH_repro.json
 run python3 scripts/bench_summary.py "fresh quick run" target/BENCH_repro.json >/dev/null

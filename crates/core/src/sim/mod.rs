@@ -29,6 +29,7 @@ pub use state::QueryState;
 pub use stepped::SteppedSim;
 pub use store::{priority_for, NodeStore};
 pub use world::SimWorld;
+pub use wsn_net::{Blackout, FaultConfig, FaultError, FaultPlan};
 
 use crate::config::{Scenario, Scheme};
 use crate::error::ConfigError;

@@ -30,16 +30,23 @@ use crate::sim::store::{priority_for, NodeStore};
 use std::collections::HashMap;
 use std::time::Instant;
 use wsn_geom::{Circle, Point, SpatialGrid};
-use wsn_metrics::{summarize_users, ChurnBatch, QueryLog, QueryRecord};
+use wsn_metrics::{summarize_users, ChurnBatch, FaultBatch, QueryLog, QueryRecord};
 use wsn_net::{
-    Channel, FloodScratch, FloodTree, NeighborTable, NodeId, NodeRole, SleepSchedule, TreeCache,
-    TreeCacheError, TreeHandle, TreeKey,
+    Channel, FaultConfig, FaultPlan, FloodScratch, FloodTree, NeighborTable, NodeId, NodeRole,
+    SleepSchedule, TreeCache, TreeCacheError, TreeHandle, TreeKey,
 };
 use wsn_power::{elect_backbone_priority, PowerPlan, RepairableBackbone};
 use wsn_sim::{mix_seed, pool, SimRng, SimTime};
 
 /// Stream tag for per-query scoring draws (loss, wake jitter).
 pub(crate) const QUERY_STREAM: u64 = 0x5EED_0000_0000_0003;
+
+/// Retries an install may burn beyond its first attempt when recovery is on.
+const MAX_INSTALL_RETRIES: u32 = 3;
+/// First retry waits this fraction of a period; each further retry doubles it.
+const INSTALL_BACKOFF_FRAC: f64 = 0.05;
+/// Energy one install retransmission drains from the collector, in joules.
+const RETRY_ENERGY_J: f64 = 0.002;
 
 fn cache_error(e: TreeCacheError) -> ConfigError {
     ConfigError::new(format!("tree cache invariant violated: {e}"))
@@ -64,6 +71,124 @@ struct ChurnState {
     backbone: RepairableBackbone,
     epoch: u32,
     log: Vec<ChurnBatch>,
+}
+
+/// Everything fault mode adds to the world: the seeded fault schedule, the
+/// faults in force around the current boundary, the recovery epoch (bumped
+/// per crash batch so rebuilt trees never share a poisoned key) and the
+/// per-boundary counters flushed into the fault log.
+#[derive(Debug)]
+struct FaultState {
+    plan: FaultPlan,
+    /// This boundary's crash victims as `(slot, in-period fraction)`,
+    /// ascending by slot; cleared (rebooted) at the next boundary.
+    crashed: Vec<(usize, f64)>,
+    /// Dense mirror of `crashed` for O(1) membership tests in scoring.
+    is_crashed: Vec<bool>,
+    /// Whether the configured blackout covers the current boundary.
+    blackout: bool,
+    /// Fault epochs folded into every [`TreeKey`] alongside the churn epoch.
+    epoch: u32,
+    log: Vec<FaultBatch>,
+    // Per-boundary counters, zeroed by `flush_fault_batch`.
+    attempts: u64,
+    retries: u64,
+    failures: u64,
+    rebuilt: u64,
+    fallbacks: u64,
+    retry_energy_j: f64,
+}
+
+/// What one faulted install attempt sequence resolved to.
+struct InstallOutcome {
+    /// Whether any attempt got through.
+    success: bool,
+    /// Backoff accumulated before the successful attempt, in seconds.
+    delay_s: f64,
+    /// Attempts burned beyond the first (each drains retry energy).
+    extra_attempts: u32,
+}
+
+impl FaultState {
+    /// Walks the install ack/retry state machine for `(user, k)`: each
+    /// attempt fails outright while the collector is crashed, bad-channel or
+    /// blacked out, and otherwise fails with the configured loss probability
+    /// drawn from the dedicated per-(user, period) install stream. Recovery
+    /// retries up to [`MAX_INSTALL_RETRIES`] times behind exponential
+    /// backoff; without recovery the first loss is final. At loss 0 with no
+    /// forced faults this draws zero random numbers and returns an immediate
+    /// success — the rate-0 byte-identity hinge.
+    fn install_outcome(
+        &mut self,
+        user: u32,
+        k: u64,
+        collector: usize,
+        collector_pos: Point,
+        boundary: u64,
+        period_s: f64,
+    ) -> InstallOutcome {
+        let forced = self.is_crashed[collector]
+            || self.plan.link_bad(collector)
+            || self.plan.blacked_out(boundary, collector_pos);
+        let loss = self.plan.config().loss;
+        let attempts = if self.plan.config().recovery {
+            1 + MAX_INSTALL_RETRIES
+        } else {
+            1
+        };
+        let mut rng = SimRng::seed_from_u64(self.plan.install_seed(user, k));
+        let mut delay_s = 0.0;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                self.retries += 1;
+                self.retry_energy_j += RETRY_ENERGY_J;
+                delay_s += INSTALL_BACKOFF_FRAC * period_s * f64::from(1u32 << (attempt - 1));
+            }
+            self.attempts += 1;
+            if !forced && !rng.gen_bool(loss) {
+                return InstallOutcome {
+                    success: true,
+                    delay_s,
+                    extra_attempts: attempt,
+                };
+            }
+        }
+        self.failures += 1;
+        InstallOutcome {
+            success: false,
+            delay_s: 0.0,
+            extra_attempts: attempts - 1,
+        }
+    }
+
+    /// The instant `slot` crashed, in seconds, if it crashed this window
+    /// (`deadline` closes the window, which opened one period earlier).
+    fn crash_instant(&self, slot: usize, deadline_s: f64, period_s: f64) -> Option<f64> {
+        if !self.is_crashed[slot] {
+            return None;
+        }
+        let frac = self
+            .crashed
+            .iter()
+            .find(|&&(s, _)| s == slot)
+            .map(|&(_, f)| f)
+            .unwrap_or(0.0);
+        Some(deadline_s - (1.0 - frac) * period_s)
+    }
+
+    /// Whether a crashed ancestor strictly above `node` severs its path to
+    /// the collector (recovery-off trees keep such poisoned paths; recovery
+    /// rebuilds around them).
+    fn severed(&self, tree: &FloodTree, node: NodeId) -> bool {
+        let mut cur = node;
+        while let Some(parent) = tree.parent_of(cur) {
+            if self.is_crashed[parent.index()] {
+                return true;
+            }
+            cur = parent;
+        }
+        false
+    }
 }
 
 /// The multi-user protocol world, stepped one period boundary at a time.
@@ -98,6 +223,8 @@ struct MultiUserWorld {
     node_wake_seconds_naive: f64,
     /// Churn mode, when enabled via [`SteppedSim::with_churn`].
     churn: Option<ChurnState>,
+    /// Fault-injection mode, when enabled via [`SteppedSim::with_faults`].
+    fault: Option<FaultState>,
 }
 
 impl MultiUserWorld {
@@ -138,11 +265,24 @@ impl MultiUserWorld {
         )
     }
 
+    /// The epoch folded into every [`TreeKey`]: churn batches and fault
+    /// recovery each bump their own monotone counter, and the sum is still
+    /// monotone — a key minted before any bump can never be re-minted after.
+    fn tree_epoch(&self) -> u32 {
+        self.churn.as_ref().map_or(0, |c| c.epoch) + self.fault.as_ref().map_or(0, |f| f.epoch)
+    }
+
     /// Installs period `k`'s queries for every user active in `k`, one period
-    /// ahead of the deadline (`now = (k-1)·T`).
+    /// ahead of the deadline (`now = (k-1)·T`). Under fault injection each
+    /// install first walks the ack/retry machine: a lost install is retried
+    /// behind exponential backoff (recovery on) or abandoned (recovery off),
+    /// retransmissions drain collector energy, and a successful retry's
+    /// backoff delays `installed_at` — pushing duty-cycled wake-ups later,
+    /// the fidelity price of recovery.
     fn handle_period_install(&mut self, now: SimTime, k: u64) -> Result<(), ConfigError> {
         let deadline = self.deadline(k);
         let relay_radius = self.scenario.query.radius_m + self.scenario.radio.comm_range_m;
+        let period_s = self.scenario.query.period.as_secs_f64();
         for index in 0..self.query_set.users().len() {
             if !self.query_set.users()[index].active_in(k) {
                 continue;
@@ -156,9 +296,34 @@ impl MultiUserWorld {
             let Some(collector) = self.backbone_grid.nearest(center).map(|(i, _)| NodeId(i)) else {
                 continue; // no backbone at all: the resolve records a miss
             };
-            let epoch = self.churn.as_ref().map_or(0, |c| c.epoch);
+            let epoch = self.tree_epoch();
             let key = TreeKey::new(collector, center, relay_radius).with_epoch(epoch);
             self.installs += 1;
+
+            let mut installed_at = now;
+            if let Some(fault) = &mut self.fault {
+                let collector_pos = self.store.position(collector.index());
+                let outcome = fault.install_outcome(
+                    user,
+                    k,
+                    collector.index(),
+                    collector_pos,
+                    k - 1,
+                    period_s,
+                );
+                if outcome.extra_attempts > 0 {
+                    self.store.drain(
+                        collector.index(),
+                        RETRY_ENERGY_J * f64::from(outcome.extra_attempts),
+                    );
+                }
+                if !outcome.success {
+                    continue; // no tree stands; the resolve records a miss
+                }
+                if outcome.delay_s > 0.0 {
+                    installed_at = SimTime::from_secs_f64(now.as_secs_f64() + outcome.delay_s);
+                }
+            }
 
             let handle = match self.sharing {
                 TreeSharing::Shared => {
@@ -219,7 +384,7 @@ impl MultiUserWorld {
                 (user, k),
                 ActiveQuery {
                     center,
-                    installed_at: now,
+                    installed_at,
                     handle,
                 },
             );
@@ -325,6 +490,8 @@ impl MultiUserWorld {
             &self.schedule,
             &self.channel,
             &self.scenario,
+            self.fault.as_ref(),
+            k,
         );
         Ok(QueryRecord {
             seq: k,
@@ -346,10 +513,11 @@ impl MultiUserWorld {
                     self.cache.release(handle).map_err(cache_error)?;
                 }
                 None => {
-                    let tree = self
-                        .naive_trees
-                        .remove(&(user, k))
-                        .expect("naive tree present until resolve");
+                    let tree = self.naive_trees.remove(&(user, k)).ok_or_else(|| {
+                        ConfigError::new(format!(
+                            "naive tree missing at resolve for user {user} period {k}"
+                        ))
+                    })?;
                     self.naive_scratch.recycle(tree);
                 }
             }
@@ -362,6 +530,16 @@ impl MultiUserWorld {
     /// tree *content* — both sharing modes build bit-identical trees, iterate
     /// the same sorted node list and draw from the same per-query stream, so
     /// they count the same contributors.
+    ///
+    /// Under fault injection, contributions are additionally lost to faults
+    /// in force around boundary `k`: bad-channel nodes and nodes inside a
+    /// blackout disk never deliver, crashed nodes only deliver readings
+    /// scheduled *before* their mid-period crash instant, and a crashed
+    /// ancestor severs every descendant still routed through it (which a
+    /// recovery rebuild repairs). All fault checks are pure lookups against
+    /// state precomputed serially at the boundary — no RNG — so they cannot
+    /// perturb any draw stream: at fault rate 0 none of them ever fires and
+    /// the count is bit-identical to a fault-free run.
     #[allow(clippy::too_many_arguments)] // split borrows of the world's fields
     fn count_contributing(
         tree: &FloodTree,
@@ -376,8 +554,11 @@ impl MultiUserWorld {
         schedule: &SleepSchedule,
         channel: &Channel,
         scenario: &Scenario,
+        fault: Option<&FaultState>,
+        k: u64,
     ) -> usize {
         let period_s = scenario.query.period.as_secs_f64();
+        let deadline_s = deadline.as_secs_f64();
         let hop_s = channel
             .tx_duration(scenario.messages.setup_bytes)
             .as_secs_f64()
@@ -392,6 +573,18 @@ impl MultiUserWorld {
                 let Some(depth) = tree.depth_of(node) else {
                     continue;
                 };
+                if let Some(f) = fault {
+                    // Backbone readings land at the deadline, which every
+                    // mid-window crash precedes — a crashed backbone node
+                    // (or a crashed relay above it) contributes nothing.
+                    if f.is_crashed[node.index()]
+                        || f.plan.link_bad(node.index())
+                        || f.plan.blacked_out(k, positions[node.index()])
+                        || f.severed(tree, node)
+                    {
+                        continue;
+                    }
+                }
                 if depth as f64 * hop_s <= period_s && !rng.gen_bool(loss_p) {
                     contributing += 1;
                 }
@@ -399,16 +592,36 @@ impl MultiUserWorld {
                 // Duty-cycled: needs an in-tree relay in range and an active
                 // window (plus delivery jitter) before the deadline.
                 let pos = positions[node.index()];
-                let parent_in_range = all_nodes_grid
-                    .nearest_filtered(pos, |i| tree.contains(NodeId(i)))
-                    .map(|(_, parent_pos)| parent_pos.distance_to(pos) <= comm_range)
-                    .unwrap_or(false);
-                if !parent_in_range {
+                if let Some(f) = fault {
+                    if f.plan.link_bad(node.index()) || f.plan.blacked_out(k, pos) {
+                        continue;
+                    }
+                }
+                let Some((relay, relay_pos)) =
+                    all_nodes_grid.nearest_filtered(pos, |i| tree.contains(NodeId(i)))
+                else {
+                    continue;
+                };
+                if relay_pos.distance_to(pos) > comm_range {
                     continue;
                 }
                 let wake = schedule.next_awake_instant(aq.installed_at);
                 let jitter = rng.gen_range_f64(0.0, window_s * 0.5);
                 let delivered = SimTime::from_secs_f64(wake.as_secs_f64() + jitter);
+                if let Some(f) = fault {
+                    // A reading delivered after its node or relay crashed —
+                    // or relayed through a severed path — is lost.
+                    let d = delivered.as_secs_f64();
+                    let lost = f
+                        .crash_instant(node.index(), deadline_s, period_s)
+                        .is_some_and(|c| d > c)
+                        || f.crash_instant(relay, deadline_s, period_s)
+                            .is_some_and(|c| d > c)
+                        || f.severed(tree, NodeId(relay));
+                    if lost {
+                        continue;
+                    }
+                }
                 if delivered <= deadline && !rng.gen_bool(loss_p) {
                     contributing += 1;
                 }
@@ -548,6 +761,244 @@ impl MultiUserWorld {
         });
         Ok(())
     }
+
+    /// Advances the fault schedule across `boundary` (a no-op without fault
+    /// mode): last boundary's crash victims reboot, the per-node channel
+    /// chains step, this boundary's victims strike, and — when recovery is
+    /// armed and anything crashed — the epoch bumps and every standing tree
+    /// gets a health check.
+    fn apply_fault_batch(&mut self, boundary: u64) -> Result<(), ConfigError> {
+        let Some(mut fault) = self.fault.take() else {
+            return Ok(());
+        };
+        let result = self.fault_step(boundary, &mut fault);
+        self.fault = Some(fault);
+        result
+    }
+
+    fn fault_step(&mut self, boundary: u64, fault: &mut FaultState) -> Result<(), ConfigError> {
+        for &(slot, _) in &fault.crashed {
+            fault.is_crashed[slot] = false;
+        }
+        let batch = fault.plan.advance(boundary);
+        fault.blackout = batch.blackout;
+        fault.crashed.clear();
+        fault
+            .crashed
+            .extend(batch.crashes.iter().map(|c| (c.slot, c.frac)));
+        for &(slot, _) in &fault.crashed {
+            fault.is_crashed[slot] = true;
+        }
+        if !fault.crashed.is_empty() && fault.plan.config().recovery {
+            fault.epoch += 1;
+            self.fault_repair_trees(fault)?;
+        }
+        Ok(())
+    }
+
+    /// The per-boundary tree health check: every standing query whose tree
+    /// contains a crash victim is poisoned. A poisoned shared tree whose
+    /// collector survived is released and re-acquired under the bumped epoch
+    /// with the victims excluded (re-homing their descendants); one whose
+    /// collector crashed degrades to a per-user naive tree rooted at the
+    /// nearest live backbone node. Naive trees rebuild in place the same
+    /// way. Keys are visited in sorted order so cache bookkeeping — and
+    /// therefore every output byte — is independent of hash-map iteration
+    /// order.
+    fn fault_repair_trees(&mut self, fault: &mut FaultState) -> Result<(), ConfigError> {
+        if self.active.is_empty() {
+            return Ok(());
+        }
+        let mut standing: Vec<(u32, u64)> = self.active.keys().copied().collect();
+        standing.sort_unstable();
+        let relay_radius = self.scenario.query.radius_m + self.scenario.radio.comm_range_m;
+        let epoch = self.churn.as_ref().map_or(0, |c| c.epoch) + fault.epoch;
+        for (user, k) in standing {
+            let aq = self.active[&(user, k)];
+            let poisoned = {
+                let tree = match aq.handle {
+                    Some(handle) => self.cache.tree(handle).map_err(cache_error)?,
+                    None => self.naive_trees.get(&(user, k)).ok_or_else(|| {
+                        ConfigError::new(format!(
+                            "naive tree missing at health check for user {user} period {k}"
+                        ))
+                    })?,
+                };
+                fault.crashed.iter().any(|&(s, _)| tree.contains(NodeId(s)))
+            };
+            if !poisoned {
+                continue;
+            }
+            let center = aq.center;
+            match aq.handle {
+                Some(handle) => {
+                    let old_root = self.cache.key(handle).map_err(cache_error)?.root();
+                    self.cache.release(handle).map_err(cache_error)?;
+                    if !fault.is_crashed[old_root.index()] {
+                        let key = TreeKey::new(old_root, center, relay_radius).with_epoch(epoch);
+                        let (rebuilt, built) = {
+                            let positions = self.store.positions();
+                            let plan = &self.plan;
+                            let is_crashed = &fault.is_crashed;
+                            self.cache.acquire(key, &self.neighbors, |n| {
+                                plan.is_backbone(n)
+                                    && !is_crashed[n.index()]
+                                    && positions[n.index()].distance_to(center) <= relay_radius
+                            })
+                        };
+                        if built {
+                            let cost = {
+                                let tree = self.cache.tree(rebuilt).map_err(cache_error)?;
+                                Self::memoized_cost(
+                                    &mut self.tree_cost,
+                                    key,
+                                    tree,
+                                    &self.channel,
+                                    &self.scenario,
+                                    &self.all_nodes_grid,
+                                    self.store.positions(),
+                                    &self.plan,
+                                )
+                            };
+                            self.node_wake_seconds += cost;
+                        }
+                        fault.rebuilt += 1;
+                        if let Some(entry) = self.active.get_mut(&(user, k)) {
+                            entry.handle = Some(rebuilt);
+                        }
+                    } else {
+                        let alt = self
+                            .backbone_grid
+                            .nearest_filtered(center, |i| !fault.is_crashed[i])
+                            .map(|(i, _)| NodeId(i));
+                        match alt {
+                            Some(root) => {
+                                self.fault_build_naive(
+                                    fault,
+                                    user,
+                                    k,
+                                    root,
+                                    center,
+                                    relay_radius,
+                                    epoch,
+                                );
+                                fault.fallbacks += 1;
+                            }
+                            None => {
+                                // Every backbone node near the centre is down:
+                                // nothing can stand in for the tree this period.
+                                self.active.remove(&(user, k));
+                                fault.failures += 1;
+                            }
+                        }
+                    }
+                }
+                None => {
+                    let tree = self.naive_trees.remove(&(user, k)).ok_or_else(|| {
+                        ConfigError::new(format!(
+                            "naive tree missing at rebuild for user {user} period {k}"
+                        ))
+                    })?;
+                    let old_root = tree.root();
+                    self.naive_scratch.recycle(tree);
+                    let root = if fault.is_crashed[old_root.index()] {
+                        self.backbone_grid
+                            .nearest_filtered(center, |i| !fault.is_crashed[i])
+                            .map(|(i, _)| NodeId(i))
+                    } else {
+                        Some(old_root)
+                    };
+                    match root {
+                        Some(root) => {
+                            self.fault_build_naive(
+                                fault,
+                                user,
+                                k,
+                                root,
+                                center,
+                                relay_radius,
+                                epoch,
+                            );
+                            fault.rebuilt += 1;
+                        }
+                        None => {
+                            self.active.remove(&(user, k));
+                            fault.failures += 1;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds a per-user naive tree around the crash victims and stands it in
+    /// for `(user, k)`'s query, charging its flood cost to the selected mode.
+    #[allow(clippy::too_many_arguments)] // split borrows of the world's fields
+    fn fault_build_naive(
+        &mut self,
+        fault: &FaultState,
+        user: u32,
+        k: u64,
+        root: NodeId,
+        center: Point,
+        relay_radius: f64,
+        epoch: u32,
+    ) {
+        let tree = {
+            let positions = self.store.positions();
+            let plan = &self.plan;
+            let is_crashed = &fault.is_crashed;
+            self.naive_scratch.build(root, &self.neighbors, |n| {
+                plan.is_backbone(n)
+                    && !is_crashed[n.index()]
+                    && positions[n.index()].distance_to(center) <= relay_radius
+            })
+        };
+        self.naive_built += 1;
+        let key = TreeKey::new(root, center, relay_radius).with_epoch(epoch);
+        let cost = Self::memoized_cost(
+            &mut self.tree_cost,
+            key,
+            &tree,
+            &self.channel,
+            &self.scenario,
+            &self.all_nodes_grid,
+            self.store.positions(),
+            &self.plan,
+        );
+        self.node_wake_seconds += cost;
+        self.naive_trees.insert((user, k), tree);
+        if let Some(entry) = self.active.get_mut(&(user, k)) {
+            entry.handle = None;
+        }
+    }
+
+    /// Closes the boundary's fault record: a snapshot of the faults in force
+    /// plus the recovery counters accumulated since the last flush.
+    fn flush_fault_batch(&mut self, boundary: u64) {
+        let Some(fault) = &mut self.fault else {
+            return;
+        };
+        fault.log.push(FaultBatch {
+            boundary,
+            link_bad: fault.plan.bad_count(),
+            crashes: fault.crashed.len(),
+            blackout: fault.blackout,
+            install_attempts: fault.attempts,
+            retries: fault.retries,
+            install_failures: fault.failures,
+            trees_rebuilt: fault.rebuilt,
+            naive_fallbacks: fault.fallbacks,
+            retry_energy_j: fault.retry_energy_j,
+        });
+        fault.attempts = 0;
+        fault.retries = 0;
+        fault.failures = 0;
+        fault.rebuilt = 0;
+        fault.fallbacks = 0;
+        fault.retry_energy_j = 0.0;
+    }
 }
 
 /// The stepped multi-user simulation: owns one deployment and walks period
@@ -608,6 +1059,51 @@ impl SteppedSim {
     ) -> Result<Self, ConfigError> {
         churn.validate()?;
         Self::build(scenario, query_set, sharing, Some(churn))
+    }
+
+    /// [`SteppedSim::new`] with deterministic fault injection enabled: a
+    /// seeded [`FaultPlan`] (bursty per-node link loss, optional region
+    /// blackout, mid-period crashes) advances at every boundary, installs
+    /// walk an ack/retry state machine, and — when `fault.recovery` is on —
+    /// poisoned trees are rebuilt or degraded to naive per-user trees.
+    ///
+    /// Uses the same deployment build as [`SteppedSim::new`] (not churn
+    /// mode's stable election), and a config with `loss == 0`, no crashes
+    /// and no blackout draws zero fault randomness — so such a run is
+    /// byte-identical to a fault-free one, which `tests/` pins with a
+    /// proptest. In naive sharing mode `peak_live_trees` keeps its analytic
+    /// all-installs-stand value even though failed installs stand no tree,
+    /// so read it as an upper bound under faults.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] on an out-of-domain fault config, plus
+    /// everything [`SteppedSim::new`] rejects.
+    pub fn with_faults(
+        scenario: Scenario,
+        query_set: QuerySet,
+        sharing: TreeSharing,
+        fault: FaultConfig,
+    ) -> Result<Self, ConfigError> {
+        let mut sim = Self::build(scenario, query_set, sharing, None)?;
+        let slots = sim.world.store.len();
+        let plan = FaultPlan::new(fault, sim.world.scenario.seed, slots)
+            .map_err(|e| ConfigError::new(format!("invalid fault config: {e}")))?;
+        sim.world.fault = Some(FaultState {
+            plan,
+            crashed: Vec::new(),
+            is_crashed: vec![false; slots],
+            blackout: false,
+            epoch: 0,
+            log: Vec::new(),
+            attempts: 0,
+            retries: 0,
+            failures: 0,
+            rebuilt: 0,
+            fallbacks: 0,
+            retry_energy_j: 0.0,
+        });
+        Ok(sim)
     }
 
     fn build(
@@ -690,6 +1186,7 @@ impl SteppedSim {
             node_wake_seconds: 0.0,
             node_wake_seconds_naive: 0.0,
             churn,
+            fault: None,
         };
         Ok(SteppedSim {
             world,
@@ -753,6 +1250,17 @@ impl SteppedSim {
     /// churn run before boundary 1).
     pub fn churn_log(&self) -> &[ChurnBatch] {
         self.world.churn.as_ref().map_or(&[], |c| c.log.as_slice())
+    }
+
+    /// Per-boundary fault records so far (one per boundary stepped in fault
+    /// mode, empty otherwise). Every field is deterministic in the seed.
+    pub fn fault_log(&self) -> &[FaultBatch] {
+        self.world.fault.as_ref().map_or(&[], |f| f.log.as_slice())
+    }
+
+    /// The fault config in force, when fault injection is enabled.
+    pub fn fault_config(&self) -> Option<&FaultConfig> {
+        self.world.fault.as_ref().map(|f| f.plan.config())
     }
 
     /// Number of live nodes right now (equals the scenario's node count in a
@@ -889,6 +1397,10 @@ impl SteppedSim {
         if b >= 1 && b < max_k {
             self.world.apply_churn_batch(b)?;
         }
+        // Faults advance at every boundary: the batch struck during the
+        // window this boundary closes (scored by the resolves below) and is
+        // what this boundary's installs must get through.
+        self.world.apply_fault_batch(b)?;
         if b < max_k {
             self.world.handle_period_install(now, b + 1)?;
             self.events_processed += 1;
@@ -926,6 +1438,7 @@ impl SteppedSim {
                 self.resolve_scratch = scratch;
             }
         }
+        self.world.flush_fault_batch(b);
         self.next_boundary = b + 1;
         Ok(b)
     }
@@ -967,7 +1480,9 @@ impl SteppedSim {
             "queries left unresolved at the end of the run"
         );
         let trees_built = match world.sharing {
-            TreeSharing::Shared => world.cache.trees_built(),
+            // Fault recovery can degrade shared queries to naive fallback
+            // trees; count those builds too (naive_built is 0 fault-free).
+            TreeSharing::Shared => world.cache.trees_built() + world.naive_built,
             TreeSharing::Naive => world.naive_built,
         };
         let peak_live_trees = match world.sharing {
@@ -1014,6 +1529,7 @@ mod tests {
     use crate::config::Scheme;
     use crate::sim::MultiSimulation;
     use wsn_mobility::{fleet_member, ProfileSource};
+    use wsn_net::Blackout;
 
     fn small_scenario(seed: u64) -> Scenario {
         Scenario::paper_default()
@@ -1278,5 +1794,162 @@ mod tests {
             sim.finish()
         };
         assert_eq!(run(), run());
+    }
+
+    fn faulted(seed: u64, users: usize, sharing: TreeSharing, fault: FaultConfig) -> SteppedSim {
+        let scenario = small_scenario(seed);
+        let set = QuerySet::generate(&scenario, users);
+        SteppedSim::with_faults(scenario, set, sharing, fault).unwrap()
+    }
+
+    fn mean_fidelity(out: &MultiUserOutput) -> f64 {
+        let total: f64 = out.per_user.iter().map(|u| u.mean_fidelity).sum();
+        total / out.per_user.len() as f64
+    }
+
+    #[test]
+    fn with_faults_rejects_bad_configs() {
+        let scenario = small_scenario(1);
+        for config in [
+            FaultConfig::new(-0.1),
+            FaultConfig::new(1.0),
+            FaultConfig::new(f64::NAN),
+            FaultConfig::new(0.1).with_burst(0.5),
+            FaultConfig::new(0.1).with_crash_rate(1.5),
+        ] {
+            let set = QuerySet::generate(&scenario, 1);
+            assert!(
+                SteppedSim::with_faults(scenario.clone(), set, TreeSharing::Shared, config)
+                    .is_err(),
+                "{config:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_rate_faults_are_byte_identical_to_no_faults() {
+        // A loss-0, crash-0, no-blackout plan draws zero randomness and gates
+        // nothing, so the whole run — logs, energy, tree accounting — must be
+        // exactly what the fault-free engine produces.
+        for sharing in [TreeSharing::Shared, TreeSharing::Naive] {
+            let mut plain = stepped(7, 5, sharing);
+            plain.run_to_end().unwrap();
+            let mut inert = faulted(7, 5, sharing, FaultConfig::new(0.0));
+            inert.run_to_end().unwrap();
+            assert!(inert.fault_log().iter().all(|b| {
+                b.link_bad == 0
+                    && b.crashes == 0
+                    && !b.blackout
+                    && b.retries == 0
+                    && b.install_failures == 0
+            }));
+            assert_eq!(inert.finish(), plain.finish(), "{sharing:?} diverged");
+        }
+    }
+
+    #[test]
+    fn faulted_runs_are_jobs_invariant() {
+        let config = FaultConfig::new(0.25).with_crash_rate(0.03);
+        for sharing in [TreeSharing::Shared, TreeSharing::Naive] {
+            let mut serial = faulted(7, 6, sharing, config);
+            serial.run_to_end().unwrap();
+            let serial_log = serial.fault_log().to_vec();
+            let serial_out = serial.finish();
+            for jobs in [2, 4] {
+                let mut sharded = faulted(7, 6, sharing, config).with_jobs(jobs);
+                sharded.run_to_end().unwrap();
+                assert_eq!(sharded.fault_log(), serial_log.as_slice());
+                assert_eq!(
+                    sharded.finish(),
+                    serial_out,
+                    "{sharing:?} diverged at jobs={jobs}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fault_schedule_is_deterministic_in_the_seed() {
+        let walk = |seed| {
+            let mut sim = faulted(seed, 3, TreeSharing::Shared, FaultConfig::new(0.3));
+            sim.run_to_end().unwrap();
+            sim.fault_log().to_vec()
+        };
+        assert_eq!(walk(31), walk(31), "same seed, same fault schedule");
+        let bad = |log: Vec<FaultBatch>| log.iter().map(|b| b.link_bad).collect::<Vec<_>>();
+        assert_ne!(
+            bad(walk(31)),
+            bad(walk(32)),
+            "seeds differ, schedules differ"
+        );
+    }
+
+    #[test]
+    fn recovery_beats_no_recovery_under_loss() {
+        let run = |recovery| {
+            let config = FaultConfig::new(0.3).with_recovery(recovery);
+            let mut sim = faulted(7, 6, TreeSharing::Shared, config);
+            sim.run_to_end().unwrap();
+            sim.finish()
+        };
+        let on = run(true);
+        let off = run(false);
+        // The 80-node unit scenario never clears the paper's 95% fidelity
+        // bar, so compare delivered fidelity: a failed install zeroes the
+        // whole period, and retries turn a ~loss failure rate into ~loss^4.
+        assert!(
+            mean_fidelity(&on) > mean_fidelity(&off),
+            "retry/repair must buy fidelity: on={} off={}",
+            mean_fidelity(&on),
+            mean_fidelity(&off)
+        );
+    }
+
+    #[test]
+    fn crashes_trigger_tree_repair() {
+        let config = FaultConfig::new(0.05).with_crash_rate(0.05);
+        let mut sim = faulted(7, 5, TreeSharing::Shared, config);
+        sim.run_to_end().unwrap();
+        let log = sim.fault_log().to_vec();
+        assert!(
+            log.iter().any(|b| b.crashes > 0),
+            "5% of 80 nodes must crash"
+        );
+        assert!(
+            log.iter()
+                .any(|b| b.trees_rebuilt > 0 || b.naive_fallbacks > 0),
+            "crashes into standing trees must force repairs"
+        );
+        sim.finish(); // refcount discipline still holds after repairs
+    }
+
+    #[test]
+    fn blackout_fails_installs_inside_the_window() {
+        let scenario = small_scenario(7);
+        // Cover the whole region for the middle of the run: every install
+        // whose collector sits anywhere is forced to fail, recovery or not.
+        let blackout = Blackout {
+            center: wsn_geom::Point::new(150.0, 150.0),
+            radius_m: 500.0,
+            from: 2,
+            until: 5,
+        };
+        let config = FaultConfig::new(0.0).with_blackout(blackout);
+        let set = QuerySet::generate(&scenario, 4);
+        let mut sim = SteppedSim::with_faults(scenario, set, TreeSharing::Shared, config).unwrap();
+        sim.run_to_end().unwrap();
+        let log = sim.fault_log().to_vec();
+        assert_eq!(
+            log.iter().filter(|b| b.blackout).count(),
+            3,
+            "half-open window [2,5) covers three boundaries"
+        );
+        assert!(
+            log.iter()
+                .filter(|b| b.blackout)
+                .all(|b| b.install_failures > 0),
+            "a region-wide blackout must fail that boundary's installs"
+        );
+        sim.finish();
     }
 }

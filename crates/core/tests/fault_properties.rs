@@ -1,0 +1,146 @@
+//! Property-based contracts of the fault-injection layer.
+//!
+//! Two invariants keep chaos testing trustworthy. First, a zero-rate fault
+//! plan must be *inert*: wiring the fault machinery into a run without any
+//! faults to inject must leave the output byte-identical to the plain
+//! engine in both sharing modes — the golden fixtures stay valid with the
+//! fault layer compiled in. Second, the fault schedule must be a pure
+//! function of the scenario seed: the same seed yields the same losses,
+//! crashes and retries under any worker count, which is what lets CI
+//! compare `--jobs 1` against `--jobs 4` byte for byte.
+
+use mobiquery::config::{Scenario, Scheme};
+use mobiquery::sim::{FaultConfig, QuerySet, SteppedSim, TreeSharing};
+use proptest::prelude::*;
+use proptest::TestCaseResult;
+
+fn scenario(seed: u64, nodes: usize, periods: u64) -> Scenario {
+    Scenario::paper_default()
+        .with_node_count(nodes)
+        .with_region_side(300.0)
+        .with_duration_secs(2.0 * periods as f64)
+        .with_scheme(Scheme::JustInTime)
+        .with_seed(seed)
+}
+
+fn run_plain(seed: u64, nodes: usize, periods: u64, users: usize, sharing: TreeSharing) -> String {
+    let scenario = scenario(seed, nodes, periods);
+    let set = QuerySet::generate(&scenario, users);
+    let mut sim = SteppedSim::new(scenario, set, sharing).expect("valid scenario");
+    sim.run_to_end().expect("plain run completes");
+    format!("{:?}", sim.finish())
+}
+
+/// Runs the faulted engine and returns (debug of the fault log, debug of
+/// the final output) — both must be byte-stable under every invariance
+/// property below.
+fn run_faulted(
+    seed: u64,
+    nodes: usize,
+    periods: u64,
+    users: usize,
+    sharing: TreeSharing,
+    fault: FaultConfig,
+    jobs: usize,
+) -> (String, String) {
+    let scenario = scenario(seed, nodes, periods);
+    let set = QuerySet::generate(&scenario, users);
+    let mut sim = SteppedSim::with_faults(scenario, set, sharing, fault)
+        .expect("valid fault config")
+        .with_jobs(jobs);
+    sim.run_to_end().expect("faulted run completes");
+    let log = format!("{:?}", sim.fault_log());
+    (log, format!("{:?}", sim.finish()))
+}
+
+fn assert_zero_rate_is_inert(seed: u64, nodes: usize, users: usize) -> TestCaseResult {
+    let periods = 10;
+    for sharing in [TreeSharing::Shared, TreeSharing::Naive] {
+        let plain = run_plain(seed, nodes, periods, users, sharing);
+        let (log, faulted) = run_faulted(
+            seed,
+            nodes,
+            periods,
+            users,
+            sharing,
+            FaultConfig::new(0.0),
+            1,
+        );
+        prop_assert_eq!(
+            &faulted,
+            &plain,
+            "rate-0 faults must not perturb {:?}",
+            sharing
+        );
+        prop_assert!(
+            !log.contains("link_bad: [") || log.contains("link_bad: []"),
+            "rate-0 plan must schedule nothing"
+        );
+    }
+    Ok(())
+}
+
+fn assert_schedule_is_seed_deterministic(
+    seed: u64,
+    loss: f64,
+    burst: f64,
+    crash: f64,
+    jobs: usize,
+) -> TestCaseResult {
+    let fault = FaultConfig::new(loss)
+        .with_burst(burst)
+        .with_crash_rate(crash);
+    let (nodes, periods, users) = (70, 10, 3);
+    let serial = run_faulted(seed, nodes, periods, users, TreeSharing::Shared, fault, 1);
+    let again = run_faulted(seed, nodes, periods, users, TreeSharing::Shared, fault, 1);
+    prop_assert_eq!(&again.0, &serial.0, "same seed must replay the schedule");
+    prop_assert_eq!(&again.1, &serial.1, "same seed must replay the output");
+    let sharded = run_faulted(
+        seed,
+        nodes,
+        periods,
+        users,
+        TreeSharing::Shared,
+        fault,
+        jobs,
+    );
+    prop_assert_eq!(
+        &sharded.0,
+        &serial.0,
+        "fault schedule must not depend on jobs={}",
+        jobs
+    );
+    prop_assert_eq!(
+        &sharded.1,
+        &serial.1,
+        "faulted output must not depend on jobs={}",
+        jobs
+    );
+    Ok(())
+}
+
+proptest! {
+    /// A zero-rate fault plan leaves both sharing modes byte-identical to
+    /// the plain engine for arbitrary seeds and deployment sizes.
+    #[test]
+    fn zero_rate_faults_are_inert(
+        seed in any::<u64>(),
+        nodes in 40usize..110,
+        users in 1usize..4,
+    ) {
+        assert_zero_rate_is_inert(seed, nodes, users)?;
+    }
+
+    /// The fault schedule and the faulted output are pure functions of the
+    /// seed, independent of the worker count used to shard resolution.
+    #[test]
+    fn fault_schedules_are_seed_deterministic_for_any_jobs(
+        seed in any::<u64>(),
+        loss in 0.01f64..0.6,
+        burst in 1.0f64..8.0,
+        crash in 0.0f64..0.1,
+        jobs in 2usize..7,
+    ) {
+        assert_schedule_is_seed_deterministic(seed, loss, burst, crash, jobs)?;
+    }
+}

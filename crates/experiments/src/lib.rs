@@ -29,6 +29,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod multiuser;
+pub mod resilience;
 pub mod runner;
 pub mod scale;
 

@@ -26,6 +26,7 @@ pub mod json;
 pub mod latency;
 pub mod multiuser;
 pub mod query;
+pub mod resilience;
 pub mod series;
 pub mod table;
 
@@ -34,6 +35,7 @@ pub use json::JsonValue;
 pub use latency::{percentile_sorted, LatencyStats};
 pub use multiuser::{summarize_users, UserSummary};
 pub use query::{QueryLog, QueryRecord};
+pub use resilience::{recovery_latency, FaultBatch, RecoveryLatency, ResilienceSummary};
 pub use series::Series;
 pub use table::Table;
 pub use wsn_sim::stats::Summary;

@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod channel;
+pub mod fault;
 pub mod flood;
 pub mod mac;
 pub mod neighbors;
@@ -37,6 +38,7 @@ pub mod routing;
 pub mod tree_cache;
 
 pub use channel::Channel;
+pub use fault::{Blackout, Crash, FaultBatchPlan, FaultConfig, FaultError, FaultPlan};
 pub use flood::{FloodScratch, FloodTree};
 pub use mac::{ContentionTracker, MacConfig};
 pub use neighbors::NeighborTable;

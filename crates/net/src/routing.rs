@@ -62,16 +62,13 @@ impl RoutePath {
         self.hops.len().saturating_sub(1)
     }
 
-    /// The node that accepted the message.
+    /// The node that accepted the message, or `None` for an empty path.
     ///
-    /// # Panics
-    ///
-    /// Never panics: a route always contains at least the source.
-    pub fn destination(&self) -> NodeId {
-        *self
-            .hops
-            .last()
-            .expect("routes contain at least the source")
+    /// Routes produced by [`route_greedy`] always contain at least the
+    /// source, but `hops` is public, so a hand-built path may be empty;
+    /// that case is an absent destination rather than a panic.
+    pub fn destination(&self) -> Option<NodeId> {
+        self.hops.last().copied()
     }
 }
 
@@ -208,7 +205,7 @@ mod tests {
             |_| true,
         )
         .expect("route should exist");
-        assert_eq!(path.destination(), NodeId(24));
+        assert_eq!(path.destination(), Some(NodeId(24)));
         assert_eq!(path.hop_count(), 8); // 4 east + 4 north in some order
         assert!(path.final_distance_m <= 50.0);
         // Path must be connected: every consecutive pair within range.
@@ -230,7 +227,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(path.hop_count(), 0);
-        assert_eq!(path.destination(), NodeId(12));
+        assert_eq!(path.destination(), Some(NodeId(12)));
     }
 
     #[test]

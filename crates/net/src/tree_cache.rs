@@ -202,12 +202,15 @@ impl TreeCache {
         member: impl FnMut(NodeId) -> bool,
     ) -> (TreeHandle, bool) {
         if let Some(&slot) = self.index.get(&key) {
-            let entry = self.slots[slot as usize]
-                .as_mut()
-                .expect("indexed slots are occupied");
-            entry.refs += 1;
-            self.shared_hits += 1;
-            return (TreeHandle(slot), false);
+            if let Some(entry) = self.slots.get_mut(slot as usize).and_then(|s| s.as_mut()) {
+                entry.refs += 1;
+                self.shared_hits += 1;
+                return (TreeHandle(slot), false);
+            }
+            // A stale index entry (a freed slot the map still points at)
+            // would be a bookkeeping bug; drop it and rebuild rather than
+            // panic, so one bad entry can't take down a resident service.
+            self.index.remove(&key);
         }
         let tree = self.scratch.build(key.root(), neighbors, member);
         self.trees_built += 1;
@@ -277,17 +280,16 @@ impl TreeCache {
     /// release is simply refused, which lets a long-lived service answer a
     /// client's double-retire with an error instead of dying.
     pub fn release(&mut self, handle: TreeHandle) -> Result<bool, TreeCacheError> {
-        let slot = handle.0 as usize;
-        let entry = self
+        let slot_ref = self
             .slots
-            .get_mut(slot)
-            .and_then(|s| s.as_mut())
+            .get_mut(handle.0 as usize)
             .ok_or(TreeCacheError::dead(handle))?;
+        let entry = slot_ref.as_mut().ok_or(TreeCacheError::dead(handle))?;
         entry.refs -= 1;
         if entry.refs > 0 {
             return Ok(false);
         }
-        let entry = self.slots[slot].take().expect("checked occupied above");
+        let entry = slot_ref.take().ok_or(TreeCacheError::dead(handle))?;
         self.index.remove(&entry.key);
         self.scratch.recycle(entry.tree);
         self.free.push(handle.0);

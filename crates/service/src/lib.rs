@@ -35,10 +35,10 @@ pub mod serve;
 use mobiquery::config::Scenario;
 use mobiquery::error::ConfigError;
 use mobiquery::query::QuerySpec;
-use mobiquery::sim::{MultiUserOutput, QuerySet, SteppedSim, TreeSharing, UserQuery};
+use mobiquery::sim::{FaultConfig, MultiUserOutput, QuerySet, SteppedSim, TreeSharing, UserQuery};
 use std::error::Error;
 use std::fmt;
-use wsn_metrics::QueryRecord;
+use wsn_metrics::{FaultBatch, QueryRecord};
 use wsn_mobility::fleet_member;
 
 /// Opaque handle a client holds for a submitted query.
@@ -178,6 +178,29 @@ impl ServiceSim {
         let empty = QuerySet::from_users(Vec::new(), horizon)?;
         Ok(ServiceSim {
             stepped: SteppedSim::new(scenario, empty, sharing)?,
+            clients: Vec::new(),
+        })
+    }
+
+    /// [`ServiceSim::new`] with deterministic fault injection enabled: the
+    /// service walks the same boundaries under a seeded fault schedule
+    /// (see [`mobiquery::sim::SteppedSim::with_faults`]). A config with zero
+    /// loss, no crashes and no blackout serves byte-identically to
+    /// [`ServiceSim::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Config`] when the scenario or fault config
+    /// fails validation.
+    pub fn with_faults(
+        scenario: Scenario,
+        sharing: TreeSharing,
+        fault: FaultConfig,
+    ) -> Result<Self, ServiceError> {
+        let horizon = scenario.query.result_count();
+        let empty = QuerySet::from_users(Vec::new(), horizon)?;
+        Ok(ServiceSim {
+            stepped: SteppedSim::with_faults(scenario, empty, sharing, fault)?,
             clients: Vec::new(),
         })
     }
@@ -331,6 +354,11 @@ impl ServiceSim {
     /// Number of queries submitted so far.
     pub fn queries_submitted(&self) -> usize {
         self.clients.len()
+    }
+
+    /// Per-boundary fault records so far (empty without fault injection).
+    pub fn fault_log(&self) -> &[FaultBatch] {
+        self.stepped.fault_log()
     }
 
     /// The realized query set — the exact static [`QuerySet`] that, run

@@ -18,8 +18,8 @@
 use crate::{ServiceError, ServiceSim};
 use mobiquery::config::Scenario;
 use mobiquery::error::ConfigError;
-use mobiquery::sim::{MultiUserOutput, QuerySet, TreeSharing};
-use wsn_metrics::{JsonValue, LatencyStats};
+use mobiquery::sim::{FaultConfig, MultiUserOutput, QuerySet, TreeSharing};
+use wsn_metrics::{JsonValue, LatencyStats, ResilienceSummary};
 use wsn_sim::{mix_seed, SimRng};
 
 /// Stream tag separating the load generator's draws from every other stream
@@ -79,6 +79,15 @@ pub struct LoadReport {
     pub rejected: u64,
     /// Admitted queries that never received a single result.
     pub starved: u64,
+    /// Query periods whose result missed its deadline (0 only when every
+    /// admitted period delivered on time).
+    pub deadline_misses: u64,
+    /// Install retransmissions the recovery machinery paid (0 without fault
+    /// injection, and with recovery disarmed).
+    pub retries: u64,
+    /// Periods served in degraded mode: poisoned shared trees rebuilt or
+    /// downgraded to naive per-user trees after crashes.
+    pub degraded: u64,
     /// Mean per-query success ratio.
     pub mean_success_ratio: f64,
     /// Worst per-query success ratio.
@@ -120,6 +129,9 @@ impl LoadReport {
             .with("submitted", self.submitted)
             .with("rejected", self.rejected)
             .with("starved", self.starved)
+            .with("deadline_misses", self.deadline_misses)
+            .with("retries", self.retries)
+            .with("degraded", self.degraded)
             .with("mean_success_ratio", self.mean_success_ratio)
             .with("min_success_ratio", self.min_success_ratio)
             .with("latency", latency)
@@ -154,17 +166,20 @@ pub struct LoadOutcome {
 /// periods; its seed drives both the deployment and the arrival schedule.
 /// `jobs` shards each boundary's resolution across pool workers
 /// ([`ServiceSim::with_jobs`]); the outcome is byte-identical for any value.
+/// With `fault` set, the service runs under that seeded fault schedule and
+/// the report's retry/deadline-miss/degraded counters become meaningful.
 ///
 /// # Errors
 ///
-/// Returns a [`ServiceError`] for an invalid scenario, a non-positive or
-/// non-finite `qps`, or a zero `duration_periods`.
+/// Returns a [`ServiceError`] for an invalid scenario or fault config, a
+/// non-positive or non-finite `qps`, or a zero `duration_periods`.
 pub fn run_load(
     scenario: Scenario,
     qps: f64,
     duration_periods: u64,
     sharing: TreeSharing,
     jobs: usize,
+    fault: Option<FaultConfig>,
 ) -> Result<LoadOutcome, ServiceError> {
     if !(qps.is_finite() && qps > 0.0) {
         return Err(ConfigError::new("load qps must be positive and finite").into());
@@ -176,14 +191,17 @@ pub fn run_load(
     let scenario = scenario.with_duration_secs(duration_periods as f64 * period_s);
     let arrivals = arrival_schedule(scenario.seed, qps, duration_periods, period_s);
 
-    let mut svc = ServiceSim::new(scenario.clone(), sharing)?.with_jobs(jobs);
+    let mut svc = match fault {
+        Some(config) => ServiceSim::with_faults(scenario.clone(), sharing, config)?,
+        None => ServiceSim::new(scenario.clone(), sharing)?,
+    }
+    .with_jobs(jobs);
     let mut pending = arrivals.iter().copied().peekable();
     let mut admitted: Vec<Arrival> = Vec::new();
     let mut rejected = 0u64;
     while !svc.is_finished() {
         let now_s = svc.next_boundary() as f64 * period_s;
-        while pending.peek().is_some_and(|a| a.at_s <= now_s) {
-            let arrival = pending.next().expect("peeked");
+        while let Some(arrival) = pending.next_if(|a| a.at_s <= now_s) {
             let mut spec = scenario.query.clone();
             spec.lifetime = spec.period * arrival.lifetime_periods;
             match svc.submit(&spec) {
@@ -198,13 +216,16 @@ pub fn run_load(
 
     let threshold = svc.scenario().fidelity_threshold;
     let query_set = svc.query_set().clone();
+    let faults = ResilienceSummary::from_batches(svc.fault_log());
     let output = svc.finish();
 
     let mut success_ratios = Vec::with_capacity(admitted.len());
     let mut latency_samples = Vec::new();
     let mut starved = 0u64;
+    let mut deadline_misses = 0u64;
     for (arrival, log) in admitted.iter().zip(output.logs.iter()) {
         success_ratios.push(log.success_ratio(threshold));
+        deadline_misses += log.records().iter().filter(|r| !r.met_deadline()).count() as u64;
         match log
             .records()
             .iter()
@@ -233,6 +254,9 @@ pub fn run_load(
         submitted: admitted.len() as u64,
         rejected,
         starved,
+        deadline_misses,
+        retries: faults.retries,
+        degraded: faults.trees_rebuilt + faults.naive_fallbacks,
         mean_success_ratio,
         min_success_ratio,
         latency_periods: LatencyStats::from_samples(&latency_samples),
@@ -282,7 +306,7 @@ mod tests {
 
     #[test]
     fn load_run_reports_latency_and_success() {
-        let outcome = run_load(small_scenario(42), 1.0, 10, TreeSharing::Shared, 1).unwrap();
+        let outcome = run_load(small_scenario(42), 1.0, 10, TreeSharing::Shared, 1, None).unwrap();
         let r = &outcome.report;
         assert_eq!(
             r.submitted + r.rejected,
@@ -304,8 +328,8 @@ mod tests {
 
     #[test]
     fn load_run_is_deterministic() {
-        let a = run_load(small_scenario(7), 2.0, 12, TreeSharing::Shared, 1).unwrap();
-        let b = run_load(small_scenario(7), 2.0, 12, TreeSharing::Shared, 4).unwrap();
+        let a = run_load(small_scenario(7), 2.0, 12, TreeSharing::Shared, 1, None).unwrap();
+        let b = run_load(small_scenario(7), 2.0, 12, TreeSharing::Shared, 4, None).unwrap();
         assert_eq!(a, b);
         assert_eq!(
             a.report.to_json().to_pretty_string(),
@@ -314,9 +338,53 @@ mod tests {
     }
 
     #[test]
+    fn faulted_load_reports_recovery_counters() {
+        let faulted = |recovery| {
+            let fault = FaultConfig::new(0.35).with_recovery(recovery);
+            run_load(
+                small_scenario(42),
+                1.0,
+                12,
+                TreeSharing::Shared,
+                1,
+                Some(fault),
+            )
+            .unwrap()
+        };
+        let on = faulted(true);
+        assert!(on.report.retries > 0, "35% loss must force retransmissions");
+        let off = faulted(false);
+        assert_eq!(off.report.retries, 0, "recovery off never retries");
+        assert!(
+            on.report.deadline_misses <= off.report.deadline_misses,
+            "recovery must not lose periods the bare service delivers"
+        );
+        // The zero-rate profile is byte-identical to no profile at all.
+        let plain = run_load(small_scenario(42), 1.0, 12, TreeSharing::Shared, 1, None).unwrap();
+        let inert = run_load(
+            small_scenario(42),
+            1.0,
+            12,
+            TreeSharing::Shared,
+            1,
+            Some(FaultConfig::new(0.0)),
+        )
+        .unwrap();
+        assert_eq!(plain, inert);
+    }
+
+    #[test]
     fn invalid_load_parameters_are_rejected() {
-        assert!(run_load(small_scenario(1), 0.0, 10, TreeSharing::Shared, 1).is_err());
-        assert!(run_load(small_scenario(1), f64::NAN, 10, TreeSharing::Shared, 1).is_err());
-        assert!(run_load(small_scenario(1), 1.0, 0, TreeSharing::Shared, 1).is_err());
+        assert!(run_load(small_scenario(1), 0.0, 10, TreeSharing::Shared, 1, None).is_err());
+        assert!(run_load(
+            small_scenario(1),
+            f64::NAN,
+            10,
+            TreeSharing::Shared,
+            1,
+            None
+        )
+        .is_err());
+        assert!(run_load(small_scenario(1), 1.0, 0, TreeSharing::Shared, 1, None).is_err());
     }
 }

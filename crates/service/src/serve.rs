@@ -10,8 +10,8 @@
 use crate::{PeriodResult, ServiceError, ServiceSim};
 use mobiquery::config::Scenario;
 use mobiquery::error::ConfigError;
-use mobiquery::sim::TreeSharing;
-use wsn_metrics::JsonValue;
+use mobiquery::sim::{FaultConfig, TreeSharing};
+use wsn_metrics::{JsonValue, ResilienceSummary};
 
 /// Summary of one [`run_serve`] invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,6 +26,10 @@ pub struct ServeReport {
     pub success_ratio: f64,
     /// Mean per-period fidelity.
     pub mean_fidelity: f64,
+    /// Periods whose result missed its deadline.
+    pub deadline_misses: u64,
+    /// Install retransmissions paid (0 without fault injection).
+    pub retries: u64,
     /// Deployment size.
     pub node_count: usize,
     /// Backbone size of the deployment.
@@ -53,6 +57,8 @@ impl ServeReport {
             .with("sharing", self.sharing.as_str())
             .with("success_ratio", self.success_ratio)
             .with("mean_fidelity", self.mean_fidelity)
+            .with("deadline_misses", self.deadline_misses)
+            .with("retries", self.retries)
             .with("node_count", self.node_count)
             .with("backbone_count", self.backbone_count)
             .with("results", results)
@@ -65,39 +71,50 @@ impl ServeReport {
 /// The scenario's duration is overridden to exactly `periods` periods.
 /// `jobs` shards each boundary's resolution across pool workers
 /// ([`ServiceSim::with_jobs`]); the report is byte-identical for any value.
+/// With `fault` set, the query is served under that seeded fault schedule.
 ///
 /// # Errors
 ///
-/// Returns a [`ServiceError`] for an invalid scenario or `periods == 0`.
+/// Returns a [`ServiceError`] for an invalid scenario or fault config, or
+/// `periods == 0`.
 pub fn run_serve(
     scenario: Scenario,
     periods: u64,
     sharing: TreeSharing,
     jobs: usize,
+    fault: Option<FaultConfig>,
 ) -> Result<ServeReport, ServiceError> {
     if periods == 0 {
         return Err(ConfigError::new("serve needs at least one period").into());
     }
     let period_s = scenario.query.period.as_secs_f64();
     let scenario = scenario.with_duration_secs(periods as f64 * period_s);
-    let mut svc = ServiceSim::new(scenario.clone(), sharing)?.with_jobs(jobs);
+    let mut svc = match fault {
+        Some(config) => ServiceSim::with_faults(scenario.clone(), sharing, config)?,
+        None => ServiceSim::new(scenario.clone(), sharing)?,
+    }
+    .with_jobs(jobs);
     let id = svc.submit(&scenario.query)?;
     let mut results = Vec::with_capacity(periods as usize);
     while !svc.is_finished() {
         svc.step_period()?;
         results.extend(svc.poll(id)?);
     }
+    let faults = ResilienceSummary::from_batches(svc.fault_log());
     let output = svc.finish();
     let succeeded = results.iter().filter(|r| r.succeeded).count();
     let success_ratio = succeeded as f64 / results.len().max(1) as f64;
     let mean_fidelity =
         results.iter().map(|r| r.fidelity).sum::<f64>() / results.len().max(1) as f64;
+    let deadline_misses = results.iter().filter(|r| !r.delivered).count() as u64;
     Ok(ServeReport {
         periods,
         sharing,
         results,
         success_ratio,
         mean_fidelity,
+        deadline_misses,
+        retries: faults.retries,
         node_count: output.node_count,
         backbone_count: output.backbone_count,
     })
@@ -118,7 +135,7 @@ mod tests {
 
     #[test]
     fn serve_streams_one_result_per_period() {
-        let report = run_serve(small_scenario(42), 12, TreeSharing::Shared, 1).unwrap();
+        let report = run_serve(small_scenario(42), 12, TreeSharing::Shared, 1, None).unwrap();
         assert_eq!(report.results.len(), 12);
         for (i, r) in report.results.iter().enumerate() {
             assert_eq!(r.period, i as u64 + 1, "periods stream in order");
@@ -135,7 +152,7 @@ mod tests {
         use mobiquery::sim::MultiSimulation;
         let periods = 10u64;
         let scenario = small_scenario(9).with_duration_secs(2.0 * periods as f64);
-        let report = run_serve(scenario.clone(), periods, TreeSharing::Shared, 1).unwrap();
+        let report = run_serve(scenario.clone(), periods, TreeSharing::Shared, 1, None).unwrap();
         let batch = MultiSimulation::new(scenario, 1, TreeSharing::Shared)
             .unwrap()
             .run();
@@ -150,8 +167,8 @@ mod tests {
 
     #[test]
     fn serve_is_deterministic_across_jobs() {
-        let a = run_serve(small_scenario(3), 8, TreeSharing::Shared, 1).unwrap();
-        let b = run_serve(small_scenario(3), 8, TreeSharing::Shared, 4).unwrap();
+        let a = run_serve(small_scenario(3), 8, TreeSharing::Shared, 1, None).unwrap();
+        let b = run_serve(small_scenario(3), 8, TreeSharing::Shared, 4, None).unwrap();
         assert_eq!(a, b);
         assert_eq!(
             a.to_json().to_pretty_string(),
@@ -161,6 +178,38 @@ mod tests {
 
     #[test]
     fn zero_periods_is_rejected() {
-        assert!(run_serve(small_scenario(1), 0, TreeSharing::Shared, 1).is_err());
+        assert!(run_serve(small_scenario(1), 0, TreeSharing::Shared, 1, None).is_err());
+    }
+
+    #[test]
+    fn inert_fault_profile_serves_identically() {
+        let plain = run_serve(small_scenario(5), 10, TreeSharing::Shared, 1, None).unwrap();
+        let inert = run_serve(
+            small_scenario(5),
+            10,
+            TreeSharing::Shared,
+            1,
+            Some(FaultConfig::new(0.0)),
+        )
+        .unwrap();
+        assert_eq!(plain, inert);
+        assert_eq!(inert.retries, 0);
+    }
+
+    #[test]
+    fn faulted_serve_counts_misses_and_retries() {
+        let report = run_serve(
+            small_scenario(5),
+            16,
+            TreeSharing::Shared,
+            1,
+            Some(FaultConfig::new(0.4)),
+        )
+        .unwrap();
+        assert!(report.retries > 0, "40% loss must force retransmissions");
+        assert_eq!(
+            report.deadline_misses,
+            report.results.iter().filter(|r| !r.delivered).count() as u64
+        );
     }
 }

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Render a mobiquery-repro/bench/v7 document as GitHub-flavored markdown.
+"""Render a mobiquery-repro/bench/v8 document as GitHub-flavored markdown.
 
 Used by .github/workflows/ci.yml to append both the fresh bench run and the
 committed BENCH_repro.json trajectory to $GITHUB_STEP_SUMMARY:
@@ -158,13 +158,58 @@ def service_table(doc):
             s["duration_periods"],
             s["submitted"],
             s["starved"],
+            s.get("deadline_misses", "-"),
+            s.get("retries", "-"),
+            s.get("degraded", "-"),
             f"{s['mean_success_ratio']:.3f}",
             latency.get("p50_periods", "-"),
             latency.get("p99_periods", "-"),
         ]
     ]
     return table(
-        ["qps", "periods", "submitted", "starved", "mean success", "p50", "p99"],
+        [
+            "qps",
+            "periods",
+            "submitted",
+            "starved",
+            "misses",
+            "retries",
+            "degraded",
+            "mean success",
+            "p50",
+            "p99",
+        ],
+        rows,
+    )
+
+
+def resilience_table(doc):
+    rows = [
+        [
+            e["nodes"],
+            e["loss"],
+            "on" if e["recovery"] else "off",
+            e["retries"],
+            e["install_failures"],
+            e["retries_per_delivered"],
+            e["mean_outage_periods"],
+            f"{e['mean_delivery_ratio']:.3f}",
+            f"{e['mean_fidelity']:.3f}",
+        ]
+        for e in doc.get("resilience", [])
+    ]
+    return table(
+        [
+            "nodes",
+            "loss",
+            "recovery",
+            "retries",
+            "failures",
+            "retries/delivered",
+            "outage periods",
+            "mean delivery",
+            "mean fidelity",
+        ],
         rows,
     )
 
@@ -181,6 +226,7 @@ def render(title, doc):
         section("Multi-user tree economy", multiuser_table(doc)),
         section("Churn: incremental repair vs full re-election", churn_table(doc)),
         section("Reference service load", service_table(doc)),
+        section("Resilience: recovery on vs off under faults", resilience_table(doc)),
     ]
     return "\n".join(part for part in out if part)
 

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Sanity-check a mobiquery-repro/bench/v7 document.
+"""Sanity-check a mobiquery-repro/bench/v8 document.
 
 Shared by ci.sh and .github/workflows/ci.yml so the schema contract and the
 committed baseline figures live in exactly one place. Asserts:
@@ -23,13 +23,19 @@ committed baseline figures live in exactly one place. Asserts:
   and — at large deployments under light churn, where repair is the whole
   point — a mean per-batch repair cost at least REPAIR_ADVANTAGE times
   below one full election;
-* the event-loop section (new in v7): the calendar-queue-vs-heap hold
+* the event-loop section (v7): the calendar-queue-vs-heap hold
   model with both timings positive, `steady_allocs_per_period` exactly
   zero (the counting-allocator figure the zero_alloc test enforces), the
   `events_per_sec` throughput fields, and — when a document carries the
   full committed sweep (250-user fleet / 20k-node entry) — the multiuser
   serial hot loop and the 20k run no slower than the last bench/v6
-  snapshot's committed values.
+  snapshot's committed values;
+* the resilience section (new in v8): the fault-injection ladder run
+  with recovery on and off over the identical seeded schedule, paired
+  per loss rate, with recovery-off paying zero retries, recovery-on
+  actually retrying at every nonzero loss, and — the reason the section
+  exists — recovery-on retaining *strictly* higher mean delivery than
+  recovery-off at every nonzero loss rate.
 
 Unit-tested by scripts/test_check_bench.py (python3 -m unittest, run in the
 CI lint job).
@@ -86,6 +92,19 @@ CHURN_FIELDS = (
     "mean_repair_ms",
     "apply_ms",
     "full_ccp_ms",
+)
+
+RESILIENCE_FIELDS = (
+    "nodes",
+    "loss",
+    "recovery",
+    "retries",
+    "install_failures",
+    "retries_per_delivered",
+    "mean_outage_periods",
+    "mean_success_ratio",
+    "mean_fidelity",
+    "mean_delivery_ratio",
 )
 
 MULTIUSER_FIELDS = (
@@ -252,8 +271,52 @@ def check_event_loop(doc):
     )
 
 
+def check_resilience(doc):
+    entries = doc.get("resilience")
+    assert entries, "the resilience ladder is missing"
+    pairs = {}
+    for entry in entries:
+        loss = entry.get("loss", -1.0)
+        label = f"resilience/loss={loss}:{'on' if entry.get('recovery') else 'off'}"
+        for field in RESILIENCE_FIELDS:
+            assert field in entry, f"{label}: missing {field}"
+        assert 0.0 <= loss < 1.0, f"{label}: loss rate out of [0, 1)"
+        assert 0.0 <= entry["mean_delivery_ratio"] <= 1.0, (
+            f"{label}: mean_delivery_ratio out of [0, 1]"
+        )
+        assert 0.0 <= entry["mean_success_ratio"] <= 1.0, (
+            f"{label}: mean_success_ratio out of [0, 1]"
+        )
+        if not entry["recovery"]:
+            assert entry["retries"] == 0, (
+                f"{label}: recovery-off must never retransmit, "
+                f"got {entry['retries']} retries"
+            )
+        key = (entry["nodes"], loss)
+        arm = pairs.setdefault(key, {})
+        assert entry["recovery"] not in arm, f"{label}: duplicate arm"
+        arm[entry["recovery"]] = entry
+    for (nodes, loss), arm in sorted(pairs.items()):
+        label = f"resilience/{nodes}@{loss}"
+        assert set(arm) == {True, False}, (
+            f"{label}: every loss rate needs a recovery-on AND a recovery-off "
+            f"arm over the identical fault schedule"
+        )
+        if loss > 0.0:
+            on, off = arm[True], arm[False]
+            assert on["retries"] > 0, (
+                f"{label}: recovery-on never retried under nonzero loss — "
+                f"the retry path did not run"
+            )
+            assert on["mean_delivery_ratio"] > off["mean_delivery_ratio"], (
+                f"{label}: recovery-on must retain strictly higher mean query "
+                f"delivery than recovery-off ({on['mean_delivery_ratio']} vs "
+                f"{off['mean_delivery_ratio']})"
+            )
+
+
 def check_doc(doc):
-    assert doc["schema"] == "mobiquery-repro/bench/v7", doc["schema"]
+    assert doc["schema"] == "mobiquery-repro/bench/v8", doc["schema"]
     assert doc.get("host_cores", 0) >= 1, "host_cores missing from bench header"
     assert doc.get("users", 0) >= 1, "users missing from bench header"
     check_event_loop(doc)
@@ -261,6 +324,7 @@ def check_doc(doc):
     check_multiuser(doc)
     check_churn(doc)
     check_service(doc)
+    check_resilience(doc)
 
 
 def main(path):
@@ -268,8 +332,8 @@ def main(path):
         doc = json.load(f)
     check_doc(doc)
     print(
-        "bench/v7 setup breakdown + event loop + multiuser tree economy + "
-        "churn repair + service load OK"
+        "bench/v8 setup breakdown + event loop + multiuser tree economy + "
+        "churn repair + service load + resilience recovery dominance OK"
     )
 
 

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Unit tests for check_bench.py, the bench/v7 schema gate.
+"""Unit tests for check_bench.py, the bench/v8 schema gate.
 
 Run from the repository root (the CI lint job does exactly this):
 
@@ -18,7 +18,7 @@ import check_bench
 def valid_doc():
     """The smallest document every check in check_bench.py accepts."""
     return {
-        "schema": "mobiquery-repro/bench/v7",
+        "schema": "mobiquery-repro/bench/v8",
         "host_cores": 4,
         "users": 8,
         "event_queue": [
@@ -80,6 +80,34 @@ def valid_doc():
                 "full_ccp_ms": 20.0,
             }
         ],
+        "resilience": [
+            {
+                "nodes": 1000,
+                "loss": 0.1,
+                "recovery": True,
+                "retries": 20,
+                "install_failures": 5,
+                "retries_per_delivered": 0.2,
+                "mean_outage_periods": 1.5,
+                "mean_success_ratio": 0.01,
+                "mean_fidelity": 0.35,
+                "mean_delivery_ratio": 0.95,
+                "elapsed_ms": 4.0,
+            },
+            {
+                "nodes": 1000,
+                "loss": 0.1,
+                "recovery": False,
+                "retries": 0,
+                "install_failures": 9,
+                "retries_per_delivered": 0,
+                "mean_outage_periods": 1.5,
+                "mean_success_ratio": 0.01,
+                "mean_fidelity": 0.34,
+                "mean_delivery_ratio": 0.90,
+                "elapsed_ms": 4.0,
+            },
+        ],
         "service": {
             "qps": 4.0,
             "duration_periods": 40,
@@ -119,7 +147,7 @@ class CheckDocTest(unittest.TestCase):
 
     def test_wrong_schema_rejected(self):
         self.assert_rejected(
-            lambda d: d.update(schema="mobiquery-repro/bench/v6"), "v6"
+            lambda d: d.update(schema="mobiquery-repro/bench/v7"), "v7"
         )
 
     def test_missing_header_fields_rejected(self):
@@ -297,6 +325,66 @@ class CheckChurnTest(CheckDocTest):
     def test_malformed_digest_rejected(self):
         self.assert_rejected(
             lambda d: d["churn"][0].update(backbone_digest="abc"), "digest"
+        )
+
+
+class CheckResilienceTest(CheckDocTest):
+    def test_missing_section_rejected(self):
+        self.assert_rejected(lambda d: d.pop("resilience"), "resilience")
+        self.assert_rejected(lambda d: d.update(resilience=[]), "resilience")
+
+    def test_missing_field_rejected(self):
+        self.assert_rejected(
+            lambda d: d["resilience"][0].pop("mean_delivery_ratio"),
+            "mean_delivery_ratio",
+        )
+
+    def test_unpaired_arm_rejected(self):
+        # Dropping the recovery-off arm leaves no baseline to dominate.
+        self.assert_rejected(lambda d: d["resilience"].pop(1), "recovery-off")
+
+    def test_duplicate_arm_rejected(self):
+        self.assert_rejected(
+            lambda d: d["resilience"][1].update(recovery=True), "duplicate arm"
+        )
+
+    def test_recovery_off_may_not_retry(self):
+        self.assert_rejected(
+            lambda d: d["resilience"][1].update(retries=3), "never retransmit"
+        )
+
+    def test_idle_retry_path_rejected(self):
+        self.assert_rejected(
+            lambda d: d["resilience"][0].update(retries=0), "retry path"
+        )
+
+    def test_recovery_must_strictly_beat_the_baseline(self):
+        # The headline gate: equal delivery is a failure, not a tie.
+        self.assert_rejected(
+            lambda d: d["resilience"][0].update(mean_delivery_ratio=0.90),
+            "strictly higher",
+        )
+        self.assert_rejected(
+            lambda d: d["resilience"][0].update(mean_delivery_ratio=0.85),
+            "strictly higher",
+        )
+
+    def test_zero_loss_pair_carries_no_dominance_bar(self):
+        # A rate-0 pair is legal (it proves inertness) and recovery buys
+        # nothing there, so the strict bar only applies to nonzero rungs.
+        def zero_loss(d):
+            for entry in d["resilience"]:
+                entry.update(loss=0.0, retries=0, mean_delivery_ratio=1.0)
+
+        check_bench.check_doc(self.mutated(zero_loss))
+
+    def test_out_of_range_ratios_rejected(self):
+        self.assert_rejected(
+            lambda d: d["resilience"][0].update(mean_delivery_ratio=1.2),
+            "out of [0, 1]",
+        )
+        self.assert_rejected(
+            lambda d: d["resilience"][0].update(loss=1.0), "out of [0, 1)"
         )
 
 

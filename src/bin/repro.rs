@@ -17,10 +17,10 @@
 #![allow(unsafe_code)]
 
 use mobiquery::config::Scheme;
-use mobiquery::sim::TreeSharing;
+use mobiquery::sim::{FaultConfig, TreeSharing};
 use mobiquery_experiments::runner::trial_seed;
 use mobiquery_experiments::{
-    analysis_tables, churn, eventq, fig4, fig5, fig6, fig7, fig8, multiuser, scale,
+    analysis_tables, churn, eventq, fig4, fig5, fig6, fig7, fig8, multiuser, resilience, scale,
     ExperimentConfig,
 };
 use mobiquery_service::load::run_load;
@@ -34,12 +34,14 @@ use wsn_sim::pool;
 
 const USAGE: &str = "usage: repro [options] <fig4|fig5|fig6|fig7|fig8|analysis|multiuser|all>
        repro [options] --churn-rate R churn
+       repro [options] --fault-loss R [--fault-burst L] resilience
        repro serve --periods N [service options]
        repro load --qps Q --duration N [service options]
 
 Regenerates the MobiQuery paper's evaluation figures as tables/series, runs
-the node-churn sweep (`churn`), or runs the long-lived query service
-(`serve`/`load`, see `repro serve --help`).
+the node-churn sweep (`churn`), the fault-injection resilience sweep
+(`resilience`), or the long-lived query service (`serve`/`load`, see
+`repro serve --help`).
 
 Options:
   --quick            use the scaled-down scenario (fast, same qualitative shape)
@@ -57,6 +59,12 @@ Options:
                      and asserts the result is identical to a full priority
                      re-election; deployments up to 200000 nodes additionally
                      cross-check every single batch
+  --fault-loss R     stationary per-node link-loss probability, 0 <= R < 1;
+                     required by the `resilience` target, which sweeps the
+                     ladder R/4, R/2, R with protocol recovery on and off on
+                     identical seeded fault schedules
+  --fault-burst L    mean bad-state dwell of the Gilbert-Elliott loss chain,
+                     in query periods (L >= 1, default 4)
   --format FMT       output format: text (default) or json
   --out PATH         write the output to PATH instead of stdout
   --bench PATH       time every requested target serial (--jobs 1) vs parallel,
@@ -71,7 +79,9 @@ Options:
                      also hosts the shared-vs-naive multi-user tree sweep in
                      the \"multiuser\" section and the incremental-repair
                      \"churn\" section. With the `churn` target: the deployment
-                     sizes to churn (default 20000, quick 5000)
+                     sizes to churn (default 20000, quick 5000). With the
+                     `resilience` target: the deployment sizes to fault
+                     (default 10000, quick 2000)
   -h, --help         print this help and exit";
 
 const SERVICE_USAGE: &str = "usage: repro serve --periods N [service options]
@@ -93,6 +103,13 @@ Service options:
                      the quick/full base scenario, e.g. --nodes 1000)
   --naive            one tree per query instead of shared flood trees
   --quick            use the quick base scenario and seed
+  --fault-loss R     serve/load under a seeded fault schedule with stationary
+                     per-node link loss R, 0 <= R < 1 (0 = no faults); the
+                     report gains nonzero retry/deadline-miss/degraded counts
+  --fault-burst L    mean bad-state dwell of the loss chain in periods
+                     (L >= 1, default 4); needs --fault-loss
+  --no-recovery      disarm install retries and tree repair under faults
+                     (the degradation baseline); needs --fault-loss
   --jobs N           shard each boundary's query resolution across N pool
                      workers inside the engine; output is byte-identical for
                      every N (CI diffs --jobs 1 against --jobs 4)
@@ -122,6 +139,13 @@ struct ChurnSpec {
     rate: f64,
 }
 
+/// Parameters of the `resilience` target: the deployment sizes to fault and
+/// the fault profile whose loss tops the swept ladder.
+struct FaultSpec {
+    scales: Vec<usize>,
+    config: FaultConfig,
+}
+
 /// Churn rates of the `--bench` churn section: low enough that incremental
 /// repair must beat full re-election, plus heavier rates that trace where
 /// the advantage erodes. Fixed so the committed trajectory stays comparable
@@ -131,6 +155,19 @@ const BENCH_CHURN_RATES: [f64; 3] = [0.001, 0.01, 0.05];
 /// Fleet size of the bench churn section (small and fixed: the section
 /// measures repair, not the multi-user economics the multiuser section owns).
 const BENCH_CHURN_USERS: usize = 4;
+
+/// Loss ladder of the `--bench` resilience section. Fixed so the committed
+/// trajectory stays comparable across bench invocations; `check_bench.py`
+/// requires recovery-on to beat recovery-off at every one of these rates.
+const BENCH_FAULT_LOSSES: [f64; 4] = [0.05, 0.1, 0.2, 0.4];
+
+/// Deployment size of the bench resilience section — fixed and independent
+/// of `--scale`, like the reference service load, so the committed
+/// degradation curve stays comparable across bench invocations.
+const BENCH_FAULT_NODES: usize = 1000;
+
+/// Fleet size of the bench resilience section.
+const BENCH_FAULT_USERS: usize = 4;
 
 /// Counts heap allocations so the bench document can prove the stepped
 /// engine's warm loop is allocation-free (the `steady_allocs_per_period`
@@ -209,6 +246,9 @@ fn service_main(kind: &str, mut args: impl Iterator<Item = String>) -> ExitCode 
     let mut quick = false;
     let mut jobs: usize = 1;
     let mut out_path: Option<String> = None;
+    let mut fault_loss: Option<f64> = None;
+    let mut fault_burst: Option<f64> = None;
+    let mut no_recovery = false;
 
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -230,6 +270,15 @@ fn service_main(kind: &str, mut args: impl Iterator<Item = String>) -> ExitCode 
             },
             "--naive" => sharing = TreeSharing::Naive,
             "--quick" => quick = true,
+            "--fault-loss" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(r) if r.is_finite() && (0.0..1.0).contains(&r) => fault_loss = Some(r),
+                _ => return bad_service_usage(),
+            },
+            "--fault-burst" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(l) if l.is_finite() && l >= 1.0 => fault_burst = Some(l),
+                _ => return bad_service_usage(),
+            },
+            "--no-recovery" => no_recovery = true,
             "--jobs" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
                 Some(n) if n >= 1 => jobs = n,
                 _ => return bad_service_usage(),
@@ -249,6 +298,18 @@ fn service_main(kind: &str, mut args: impl Iterator<Item = String>) -> ExitCode 
         }
     }
 
+    if (fault_burst.is_some() || no_recovery) && fault_loss.is_none() {
+        eprintln!("repro {kind}: --fault-burst/--no-recovery need --fault-loss\n");
+        return bad_service_usage();
+    }
+    let fault = fault_loss.map(|loss| {
+        let mut config = FaultConfig::new(loss).with_recovery(!no_recovery);
+        if let Some(burst) = fault_burst {
+            config = config.with_burst(burst);
+        }
+        config
+    });
+
     let config = if quick {
         ExperimentConfig::quick()
     } else {
@@ -264,7 +325,7 @@ fn service_main(kind: &str, mut args: impl Iterator<Item = String>) -> ExitCode 
                 eprintln!("repro serve: --periods is required\n");
                 return bad_service_usage();
             };
-            match run_serve(scenario, periods, sharing, jobs) {
+            match run_serve(scenario, periods, sharing, jobs, fault) {
                 Ok(report) => report.to_json(),
                 Err(e) => {
                     eprintln!("repro serve: {e}");
@@ -277,7 +338,7 @@ fn service_main(kind: &str, mut args: impl Iterator<Item = String>) -> ExitCode 
                 eprintln!("repro load: --qps and --duration are required\n");
                 return bad_service_usage();
             };
-            match run_load(scenario, qps, duration, sharing, jobs) {
+            match run_load(scenario, qps, duration, sharing, jobs, fault) {
                 Ok(outcome) => outcome.report.to_json(),
                 Err(e) => {
                     eprintln!("repro load: {e}");
@@ -299,11 +360,16 @@ fn target_text(
     name: &str,
     config: &ExperimentConfig,
     churn_spec: Option<&ChurnSpec>,
+    fault_spec: Option<&FaultSpec>,
 ) -> Option<String> {
     let out = match name {
         "churn" => {
             let spec = churn_spec?;
             format!("{}\n", churn::run(config, &spec.scales, spec.rate))
+        }
+        "resilience" => {
+            let spec = fault_spec?;
+            format!("{}\n", resilience::run(config, &spec.scales, spec.config))
         }
         "fig4" => format!("{}\n", fig4::run(config)),
         "fig5" => {
@@ -337,11 +403,16 @@ fn target_json(
     name: &str,
     config: &ExperimentConfig,
     churn_spec: Option<&ChurnSpec>,
+    fault_spec: Option<&FaultSpec>,
 ) -> Option<JsonValue> {
     let out = match name {
         "churn" => {
             let spec = churn_spec?;
             churn::run_json(config, &spec.scales, spec.rate)
+        }
+        "resilience" => {
+            let spec = fault_spec?;
+            resilience::run_json(config, &spec.scales, spec.config)
         }
         "fig4" => fig4::run_json(config),
         "fig5" => fig5::run_json(config),
@@ -362,10 +433,14 @@ fn results_json(
     targets: &[String],
     config: &ExperimentConfig,
     churn_spec: Option<&ChurnSpec>,
+    fault_spec: Option<&FaultSpec>,
 ) -> Option<JsonValue> {
     let mut results = JsonValue::object();
     for target in targets {
-        results = results.with(target.as_str(), target_json(target, config, churn_spec)?);
+        results = results.with(
+            target.as_str(),
+            target_json(target, config, churn_spec, fault_spec)?,
+        );
     }
     Some(
         JsonValue::object()
@@ -385,16 +460,17 @@ fn bench_json(
     config: &ExperimentConfig,
     scales: &[usize],
     churn_spec: Option<&ChurnSpec>,
+    fault_spec: Option<&FaultSpec>,
 ) -> Option<JsonValue> {
     let mut figures = Vec::new();
     for target in targets {
         let serial_config = config.with_jobs(1);
         let start = Instant::now();
-        let serial = target_json(target, &serial_config, churn_spec)?;
+        let serial = target_json(target, &serial_config, churn_spec, fault_spec)?;
         let serial_ms = start.elapsed().as_secs_f64() * 1e3;
 
         let start = Instant::now();
-        let parallel = target_json(target, config, churn_spec)?;
+        let parallel = target_json(target, config, churn_spec, fault_spec)?;
         let parallel_ms = start.elapsed().as_secs_f64() * 1e3;
 
         assert_eq!(
@@ -476,14 +552,24 @@ fn bench_json(
     // comparable across bench invocations.
     let service = {
         let scenario = scale::scale_scenario(1000, Scheme::JustInTime, config.base_seed);
-        run_load(scenario, 4.0, 40, TreeSharing::Shared, 1)
+        run_load(scenario, 4.0, 40, TreeSharing::Shared, 1, None)
             .expect("the reference service load must run")
             .report
             .to_json()
     };
+    // The resilience degradation curve: a fixed 1000-node deployment under
+    // the fixed loss ladder, recovery on vs off on identical schedules.
+    // `check_bench.py` holds recovery-on to strictly higher mean delivery at
+    // every nonzero loss — the whole point of the retry/repair machinery.
+    let resilience_section = resilience::bench_sweep(
+        BENCH_FAULT_NODES,
+        &BENCH_FAULT_LOSSES,
+        BENCH_FAULT_USERS,
+        config.base_seed,
+    );
     Some(
         JsonValue::object()
-            .with("schema", "mobiquery-repro/bench/v7")
+            .with("schema", "mobiquery-repro/bench/v8")
             .with("mode", if config.quick { "quick" } else { "full" })
             .with("runs", config.runs)
             .with("users", config.users)
@@ -498,7 +584,8 @@ fn bench_json(
             .with("scale", scale)
             .with("multiuser", multiuser)
             .with("churn", churn_section)
-            .with("service", service),
+            .with("service", service)
+            .with("resilience", resilience_section),
     )
 }
 
@@ -532,6 +619,8 @@ fn main() -> ExitCode {
     let mut bench_path: Option<String> = None;
     let mut scales: Vec<usize> = Vec::new();
     let mut churn_rate: Option<f64> = None;
+    let mut fault_loss: Option<f64> = None;
+    let mut fault_burst: Option<f64> = None;
     let mut targets: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1).peekable();
@@ -571,6 +660,14 @@ fn main() -> ExitCode {
             },
             "--churn-rate" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
                 Some(r) if r.is_finite() && r > 0.0 && r < 1.0 => churn_rate = Some(r),
+                _ => return bad_usage(),
+            },
+            "--fault-loss" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(r) if r.is_finite() && (0.0..1.0).contains(&r) => fault_loss = Some(r),
+                _ => return bad_usage(),
+            },
+            "--fault-burst" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(l) if l.is_finite() && l >= 1.0 => fault_burst = Some(l),
                 _ => return bad_usage(),
             },
             "--scale" => {
@@ -615,24 +712,32 @@ fn main() -> ExitCode {
         config = config.with_users(n);
     }
 
-    // `all` deliberately excludes `churn`: the figures reproduce the paper's
-    // static evaluation, churn is an explicit opt-in with its own required
-    // rate parameter.
+    // `all` deliberately excludes `churn` and `resilience`: the figures
+    // reproduce the paper's static evaluation; churn and fault injection are
+    // explicit opt-ins with their own required rate parameters.
     let expanded: Vec<String> = if targets.iter().any(|t| t == "all") {
         ALL_TARGETS.iter().map(|s| s.to_string()).collect()
     } else {
         targets
     };
-    if let Some(bad) = expanded
-        .iter()
-        .find(|t| !ALL_TARGETS.contains(&t.as_str()) && t.as_str() != "churn")
-    {
+    if let Some(bad) = expanded.iter().find(|t| {
+        !ALL_TARGETS.contains(&t.as_str()) && t.as_str() != "churn" && t.as_str() != "resilience"
+    }) {
         eprintln!("repro: unknown target {bad}\n");
         return bad_usage();
     }
     let churn_requested = expanded.iter().any(|t| t == "churn");
     if churn_requested && churn_rate.is_none() {
         eprintln!("repro: the churn target requires --churn-rate\n");
+        return bad_usage();
+    }
+    let resilience_requested = expanded.iter().any(|t| t == "resilience");
+    if resilience_requested && fault_loss.is_none() {
+        eprintln!("repro: the resilience target requires --fault-loss\n");
+        return bad_usage();
+    }
+    if fault_burst.is_some() && fault_loss.is_none() {
+        eprintln!("repro: --fault-burst needs --fault-loss\n");
         return bad_usage();
     }
     let churn_spec = churn_rate.map(|rate| ChurnSpec {
@@ -643,6 +748,20 @@ fn main() -> ExitCode {
         },
         rate,
     });
+    let fault_spec = fault_loss.map(|loss| {
+        let mut config = FaultConfig::new(loss);
+        if let Some(burst) = fault_burst {
+            config = config.with_burst(burst);
+        }
+        FaultSpec {
+            scales: if scales.is_empty() {
+                vec![if quick { 2_000 } else { 10_000 }]
+            } else {
+                scales.clone()
+            },
+            config,
+        }
+    });
 
     if let Some(path) = bench_path {
         // --bench is its own output mode: it writes the timing document to
@@ -652,28 +771,36 @@ fn main() -> ExitCode {
             eprintln!("repro: --bench cannot be combined with --out or --format\n");
             return bad_usage();
         }
-        let Some(doc) = bench_json(&expanded, &config, &scales, churn_spec.as_ref()) else {
+        let Some(doc) = bench_json(
+            &expanded,
+            &config,
+            &scales,
+            churn_spec.as_ref(),
+            fault_spec.as_ref(),
+        ) else {
             return bad_usage();
         };
         return emit(&doc.to_pretty_string(), Some(&path));
     }
-    if !scales.is_empty() && !churn_requested {
+    if !scales.is_empty() && !churn_requested && !resilience_requested {
         eprintln!(
-            "repro: --scale requires --bench or the churn target (the sweep lands in the \
-             bench document)\n"
+            "repro: --scale requires --bench, the churn target or the resilience target \
+             (the sweep lands in the bench document)\n"
         );
         return bad_usage();
     }
 
     let content = match format.unwrap_or(Format::Text) {
-        Format::Json => match results_json(&expanded, &config, churn_spec.as_ref()) {
-            Some(doc) => doc.to_pretty_string(),
-            None => return bad_usage(),
-        },
+        Format::Json => {
+            match results_json(&expanded, &config, churn_spec.as_ref(), fault_spec.as_ref()) {
+                Some(doc) => doc.to_pretty_string(),
+                None => return bad_usage(),
+            }
+        }
         Format::Text => {
             let mut s = String::new();
             for target in &expanded {
-                match target_text(target, &config, churn_spec.as_ref()) {
+                match target_text(target, &config, churn_spec.as_ref(), fault_spec.as_ref()) {
                     Some(text) => s.push_str(&text),
                     None => return bad_usage(),
                 }

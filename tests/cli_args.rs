@@ -164,6 +164,114 @@ fn churn_target_succeeds_on_valid_arguments() {
 }
 
 #[test]
+fn malformed_fault_losses_are_usage_errors() {
+    // A loss rate is a probability below 1: the batch sweep path...
+    assert_usage_failure(&["--fault-loss", "-0.1", "resilience"]);
+    assert_usage_failure(&["--fault-loss", "-1", "resilience"]);
+    assert_usage_failure(&["--fault-loss", "1", "resilience"]);
+    assert_usage_failure(&["--fault-loss", "1.5", "resilience"]);
+    assert_usage_failure(&["--fault-loss", "nan", "resilience"]);
+    assert_usage_failure(&["--fault-loss", "inf", "resilience"]);
+    assert_usage_failure(&["--fault-loss", "lossy", "resilience"]);
+    assert_usage_failure(&["--fault-loss"]);
+    // ...and the service path enforce the same contract.
+    assert_usage_failure(&[
+        "load",
+        "--qps",
+        "2",
+        "--duration",
+        "4",
+        "--fault-loss",
+        "-0.2",
+    ]);
+    assert_usage_failure(&[
+        "load",
+        "--qps",
+        "2",
+        "--duration",
+        "4",
+        "--fault-loss",
+        "1.2",
+    ]);
+    assert_usage_failure(&[
+        "load",
+        "--qps",
+        "2",
+        "--duration",
+        "4",
+        "--fault-loss",
+        "abc",
+    ]);
+    assert_usage_failure(&["load", "--qps", "2", "--duration", "4", "--fault-loss"]);
+    assert_usage_failure(&["serve", "--periods", "4", "--fault-loss", "2"]);
+    assert_usage_failure(&["serve", "--periods", "4", "--fault-loss", "nan"]);
+}
+
+#[test]
+fn resilience_target_requires_a_loss_rate() {
+    assert_usage_failure(&["resilience"]);
+    assert_usage_failure(&["--quick", "resilience"]);
+    let out = repro(&["--quick", "resilience"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--fault-loss"),
+        "the error must name the missing flag, got:\n{stderr}"
+    );
+}
+
+#[test]
+fn dependent_fault_flags_need_the_loss_rate() {
+    // --fault-burst and --no-recovery modify a fault profile that only
+    // exists once --fault-loss is given.
+    assert_usage_failure(&["--fault-burst", "4", "resilience"]);
+    assert_usage_failure(&[
+        "load",
+        "--qps",
+        "2",
+        "--duration",
+        "4",
+        "--fault-burst",
+        "4",
+    ]);
+    assert_usage_failure(&["load", "--qps", "2", "--duration", "4", "--no-recovery"]);
+    assert_usage_failure(&["serve", "--periods", "4", "--no-recovery"]);
+    // A burst is a mean dwell in periods, so it must be at least one.
+    assert_usage_failure(&["--fault-loss", "0.1", "--fault-burst", "0.5", "resilience"]);
+    assert_usage_failure(&["--fault-loss", "0.1", "--fault-burst", "0", "resilience"]);
+    assert_usage_failure(&["--fault-loss", "0.1", "--fault-burst", "abc", "resilience"]);
+    // --no-recovery is a service-side baseline switch, not a batch flag:
+    // the batch sweep always runs both arms itself.
+    assert_usage_failure(&["--fault-loss", "0.1", "--no-recovery", "resilience"]);
+}
+
+#[test]
+fn resilience_target_succeeds_on_valid_arguments() {
+    let out = repro(&[
+        "--quick",
+        "--scale",
+        "200",
+        "--fault-loss",
+        "0.2",
+        "--format",
+        "json",
+        "resilience",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"resilience\""));
+    assert!(stdout.contains("\"recovery\""));
+    assert!(stdout.contains("\"mean_delivery_ratio\""));
+    assert!(
+        !stdout.contains("_ms"),
+        "deterministic resilience JSON must not leak wall-clock fields"
+    );
+}
+
+#[test]
 fn serve_argument_errors_exit_nonzero_with_usage() {
     // Missing required --periods.
     assert_usage_failure(&["serve"]);

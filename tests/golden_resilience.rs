@@ -1,0 +1,78 @@
+//! Golden-snapshot gate for the resilience target: `repro --quick --scale
+//! 2000 --fault-loss 0.2 --format json resilience` must keep producing
+//! byte-identical output.
+//!
+//! This pins the whole fault-injection stack — the seed-derived
+//! Gilbert–Elliott loss schedule, install retries with exponential backoff,
+//! crash-triggered tree repair and the recovery-on/off pairing over the
+//! identical schedule — against a committed snapshot. The JSON carries no
+//! wall-clock fields, so the bytes are a pure function of the seed.
+//!
+//! To update the snapshot after a *deliberate* behaviour change:
+//!
+//! ```text
+//! cargo run --release --bin repro -- --quick --scale 2000 \
+//!     --fault-loss 0.2 --format json \
+//!     --out tests/golden/resilience_quick.json resilience
+//! ```
+
+use std::process::Command;
+
+const GOLDEN: &str = include_str!("golden/resilience_quick.json");
+const ARGS: [&str; 7] = [
+    "--quick",
+    "--scale",
+    "2000",
+    "--fault-loss",
+    "0.2",
+    "--format",
+    "json",
+];
+
+#[test]
+fn repro_quick_resilience_json_matches_golden_snapshot() {
+    let output = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(ARGS)
+        .arg("resilience")
+        .output()
+        .expect("repro binary runs");
+    assert!(
+        output.status.success(),
+        "repro exited with {:?}: {}",
+        output.status,
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let got = String::from_utf8(output.stdout).expect("repro emits UTF-8 JSON");
+    if got != GOLDEN {
+        let line = got
+            .lines()
+            .zip(GOLDEN.lines())
+            .position(|(a, b)| a != b)
+            .map(|i| i + 1)
+            .unwrap_or_else(|| got.lines().count().min(GOLDEN.lines().count()) + 1);
+        panic!(
+            "resilience quick JSON diverged from tests/golden/resilience_quick.json at line \
+             {line}.\nThe fault schedule and every recovery decision are pure functions of \
+             the seed; if this change is deliberate, regenerate the snapshot (see this \
+             test's module docs)."
+        );
+    }
+}
+
+#[test]
+fn repro_quick_resilience_is_jobs_invariant() {
+    let run = |jobs: &str| {
+        let output = Command::new(env!("CARGO_BIN_EXE_repro"))
+            .args(ARGS)
+            .args(["--jobs", jobs, "resilience"])
+            .output()
+            .expect("repro binary runs");
+        assert!(output.status.success());
+        output.stdout
+    };
+    assert_eq!(
+        run("1"),
+        run("3"),
+        "--jobs must never change resilience results"
+    );
+}
